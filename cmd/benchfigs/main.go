@@ -1,0 +1,80 @@
+// Command benchfigs regenerates the paper's evaluation artifacts
+// (Figures 5, 6 and 7 of Ben-David et al., SPAA 2019) plus the
+// recovery-latency study, on the simulated persistent-memory substrate.
+//
+// Usage:
+//
+//	benchfigs -fig 5                 # one figure
+//	benchfigs -fig all               # everything
+//	benchfigs -fig recovery          # recovery-latency study
+//	benchfigs -fig 6 -threads 8 -pairs 50000 -seed-nodes 1000000
+//
+// Output is one table per figure: thread counts down the rows, queue
+// variants across the columns, throughput in Mops/s, followed by the
+// per-operation persistence costs (flushes/fences/CASes/boundaries)
+// that explain the ordering. EXPERIMENTS.md interprets the results
+// against the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"delayfree/internal/harness"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, recovery, or all")
+	maxThreads := flag.Int("threads", 8, "maximum thread count for the sweep (paper: 8)")
+	pairs := flag.Int("pairs", 20000, "enqueue-dequeue pairs per thread")
+	seedNodes := flag.Uint("seed-nodes", 200000, "initial queue size in nodes (paper: 1M)")
+	flushDelay := flag.Int("flush-delay", 250, "simulated flush latency (spin iterations)")
+	fenceDelay := flag.Int("fence-delay", 120, "simulated fence latency (spin iterations)")
+	attiya := flag.Bool("attiya", false, "use the Attiya et al. recoverable CAS (as the paper's experiments did)")
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	cfg.Pairs = *pairs
+	cfg.SeedNodes = uint32(*seedNodes)
+	cfg.FlushDelay = *flushDelay
+	cfg.FenceDelay = *fenceDelay
+	cfg.Attiya = *attiya
+
+	threads := make([]int, 0, *maxThreads)
+	for t := 1; t <= *maxThreads; t++ {
+		threads = append(threads, t)
+	}
+
+	runFig := func(name string) {
+		kinds, ok := harness.Figures[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		res, err := harness.Sweep(kinds, threads, cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		harness.PrintTable(os.Stdout, "Figure "+name, res)
+	}
+
+	switch *fig {
+	case "recovery":
+		harness.PrintRecovery(os.Stdout, harness.RecoveryStudy([]uint32{0, 10, 100, 1000, 10000, 100000}))
+	case "all":
+		figs := make([]string, 0, len(harness.Figures))
+		for f := range harness.Figures {
+			figs = append(figs, f)
+		}
+		sort.Strings(figs)
+		for _, f := range figs {
+			runFig(f)
+		}
+		harness.PrintRecovery(os.Stdout, harness.RecoveryStudy([]uint32{0, 10, 100, 1000, 10000, 100000}))
+	default:
+		runFig(*fig)
+	}
+}

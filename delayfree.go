@@ -1,0 +1,223 @@
+// Package delayfree is a Go reproduction of "Delay-Free Concurrency on
+// Faulty Persistent Memory" (Ben-David, Blelloch, Friedman, Wei —
+// SPAA 2019): persistent simulations that take concurrent programs
+// using Reads, Writes and CASs and make them recoverable from crashes
+// with constant computation delay and constant recovery delay.
+//
+// Because Go's runtime offers no control over cache-line flushing, the
+// Parallel Persistent Memory model is simulated in software (see
+// DESIGN.md): word-addressable persistent memory with an explicit
+// cache-line/flush/fence model and crash injection that genuinely
+// destroys volatile state.
+//
+// The package re-exports the building blocks:
+//
+//   - Memory / Port / Runtime / Proc — the simulated PPM substrate;
+//   - Registry / Machine / Ctx — the capsule mechanism (Section 2.3):
+//     write routines as arrays of capsules, get crash recovery for free;
+//   - CasSpace / NewRCas / NewAttiyaRCas — recoverable CAS (Section 4);
+//   - NewGeneralQueue / NewNormalizedQueue — the paper's transformations
+//     applied to the Michael–Scott queue (Sections 6–7);
+//   - NewWritableCasArray — writable CAS objects (Section 8);
+//   - RunBenchmark / SweepBenchmark — the Section 10 evaluation harness.
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// reproduction of the paper's figures.
+package delayfree
+
+import (
+	"io"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/harness"
+	"delayfree/internal/logqueue"
+	"delayfree/internal/msq"
+	"delayfree/internal/pmem"
+	"delayfree/internal/pqueue"
+	"delayfree/internal/proc"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+	"delayfree/internal/romulus"
+	"delayfree/internal/wcas"
+)
+
+// Simulated persistent memory (the PPM substrate).
+type (
+	// Memory is the simulated persistent memory; see pmem.Memory.
+	Memory = pmem.Memory
+	// MemConfig configures a Memory.
+	MemConfig = pmem.Config
+	// Port is a process-private access handle with statistics and the
+	// crash-injection hook.
+	Port = pmem.Port
+	// Addr is a word address in persistent memory.
+	Addr = pmem.Addr
+	// Stats counts memory operations, flushes and fences.
+	Stats = pmem.Stats
+	// Mode selects the private (PPM) or shared-cache memory model.
+	Mode = pmem.Mode
+)
+
+// Memory model constants.
+const (
+	// PrivateModel is the PPM model: persistent-memory writes are
+	// immediately durable.
+	PrivateModel = pmem.Private
+	// SharedModel is the shared-cache model: durability requires
+	// flushes and fences.
+	SharedModel = pmem.Shared
+)
+
+// NewMemory creates a simulated persistent memory.
+func NewMemory(cfg MemConfig) *Memory { return pmem.New(cfg) }
+
+// Processes and crash injection.
+type (
+	// Runtime manages P crashable processes over one Memory.
+	Runtime = proc.Runtime
+	// Proc is one simulated process.
+	Proc = proc.Proc
+	// Program is the code a process runs; it is re-entered after every
+	// crash.
+	Program = proc.Program
+)
+
+// NewRuntime creates a runtime with P processes.
+func NewRuntime(mem *Memory, P int) *Runtime { return proc.NewRuntime(mem, P) }
+
+// Capsules (Section 2.3).
+type (
+	// Registry holds encapsulated routines.
+	Registry = capsule.Registry
+	// Machine executes encapsulated routines for one process.
+	Machine = capsule.Machine
+	// Ctx is the per-capsule execution context.
+	Ctx = capsule.Ctx
+	// RoutineID identifies a registered routine.
+	RoutineID = capsule.RoutineID
+	// CapsuleFn is one capsule body.
+	CapsuleFn = capsule.Capsule
+)
+
+// NewRegistry creates an empty routine registry.
+func NewRegistry() *Registry { return capsule.NewRegistry() }
+
+// NewMachine creates a capsule machine for p over the area at base.
+func NewMachine(p *Proc, reg *Registry, base Addr) *Machine {
+	return capsule.NewMachine(p, reg, base)
+}
+
+// AllocCapsuleAreas reserves per-process capsule areas.
+func AllocCapsuleAreas(mem *Memory, P int) []Addr { return capsule.AllocProcAreas(mem, P) }
+
+// InstallRoutine initializes a process's capsule area to start routine
+// rid with args.
+func InstallRoutine(port *Port, base Addr, reg *Registry, rid RoutineID, args ...uint64) {
+	capsule.Install(port, base, reg, rid, args...)
+}
+
+// Recoverable CAS (Section 4).
+type (
+	// CasSpace is the recoverable-CAS interface; see rcas.CasSpace.
+	CasSpace = rcas.CasSpace
+)
+
+// NewRCas creates the paper's Algorithm 1 recoverable CAS space
+// (O(1) recovery, O(P) space).
+func NewRCas(mem *Memory, P int) CasSpace { return rcas.NewSpace(mem, P) }
+
+// NewAttiyaRCas creates the Attiya–Ben Baruch–Hendler recoverable CAS
+// (O(P) recovery, O(P²) space; plain-write notifications).
+func NewAttiyaRCas(mem *Memory, P int) CasSpace { return rcas.NewAttiya(mem, P) }
+
+// PackTriple packs a recoverable-CAS ⟨value, pid, seq⟩ triple.
+func PackTriple(val uint64, pid int, seq uint64) uint64 { return rcas.Pack(val, pid, seq) }
+
+// TripleVal extracts the value of a packed triple.
+func TripleVal(x uint64) uint64 { return rcas.Val(x) }
+
+// Transformed queues (Sections 6, 7 and 10).
+type (
+	// PersistentQueue is the common interface of the transformed queues.
+	PersistentQueue = pqueue.Queue
+	// QueueConfig assembles a transformed queue's dependencies.
+	QueueConfig = pqueue.Config
+	// NodeArena is the cache-line node pool shared by the queues.
+	NodeArena = qnode.Arena
+	// MSQueue is the original (volatile) Michael–Scott queue.
+	MSQueue = msq.Queue
+	// LogQueue is the Friedman et al. durable detectable queue.
+	LogQueue = logqueue.Queue
+	// RomulusTM is the Romulus-style persistent transactional memory.
+	RomulusTM = romulus.TM
+	// RomulusQueue is a FIFO queue inside a RomulusTM.
+	RomulusQueue = romulus.Queue
+)
+
+// NewNodeArena reserves a node arena.
+func NewNodeArena(mem *Memory, capacity uint32) *NodeArena { return qnode.NewArena(mem, capacity) }
+
+// NewGeneralQueue builds the Low-Computation-Delay Simulator queue
+// (Section 6); set cfg.Opt for the compact-frame General-Opt variant.
+func NewGeneralQueue(cfg QueueConfig) PersistentQueue { return pqueue.NewGeneral(cfg) }
+
+// NewNormalizedQueue builds the Persistent Normalized Simulator queue
+// (Section 7); set cfg.Opt for Normalized-Opt.
+func NewNormalizedQueue(cfg QueueConfig) PersistentQueue { return pqueue.NewNormalized(cfg) }
+
+// NewMSQueue builds the volatile Michael–Scott baseline.
+func NewMSQueue(mem *Memory, port *Port, arena *NodeArena, dummy uint32) *MSQueue {
+	return msq.New(mem, port, arena, dummy)
+}
+
+// NewLogQueue builds the Friedman et al. comparator.
+func NewLogQueue(mem *Memory, port *Port, arena *NodeArena, P int, dummy uint32) *LogQueue {
+	return logqueue.New(mem, port, arena, P, dummy)
+}
+
+// NewRomulusTM builds a Romulus-style persistent TM with size logical
+// words.
+func NewRomulusTM(mem *Memory, port *Port, size uint64, P int) *RomulusTM {
+	return romulus.New(mem, port, size, P)
+}
+
+// Writable CAS objects (Section 8).
+type (
+	// WritableCasArray is M writable CAS objects over ordinary CAS.
+	WritableCasArray = wcas.Array
+)
+
+// NewWritableCasArray builds M writable CAS objects for P processes.
+func NewWritableCasArray(mem *Memory, port *Port, M, P int, init func(j int) uint64) *WritableCasArray {
+	return wcas.New(mem, port, M, P, init)
+}
+
+// Evaluation harness (Section 10).
+type (
+	// BenchConfig parametrizes a benchmark run.
+	BenchConfig = harness.Config
+	// BenchResult is one measured point.
+	BenchResult = harness.Result
+)
+
+// BenchKinds lists every runnable queue kind.
+var BenchKinds = harness.AllKinds
+
+// BenchFigures maps paper figures to the kinds they compare.
+var BenchFigures = harness.Figures
+
+// DefaultBenchConfig mirrors the paper's setup scaled to the simulator.
+func DefaultBenchConfig() BenchConfig { return harness.DefaultConfig() }
+
+// RunBenchmark measures one queue kind.
+func RunBenchmark(kind string, cfg BenchConfig) (BenchResult, error) { return harness.Run(kind, cfg) }
+
+// SweepBenchmark measures kinds across thread counts.
+func SweepBenchmark(kinds []string, threads []int, cfg BenchConfig) ([]BenchResult, error) {
+	return harness.Sweep(kinds, threads, cfg)
+}
+
+// PrintBenchTable renders results as a paper-figure table.
+func PrintBenchTable(w io.Writer, title string, results []BenchResult) {
+	harness.PrintTable(w, title, results)
+}

@@ -1,0 +1,354 @@
+package capsule
+
+import (
+	"fmt"
+
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+)
+
+// Ctx is the interface a capsule body uses to read and write persistent
+// locals and to end the capsule with a terminal operation. A Ctx is
+// valid only for the duration of one capsule invocation.
+type Ctx struct {
+	m        *Machine
+	dirty    uint32
+	terminal bool
+}
+
+// P returns the executing process.
+func (c *Ctx) P() *proc.Proc { return c.m.p }
+
+// Mem returns the process's memory port, for shared-memory operations
+// inside the capsule.
+func (c *Ctx) Mem() *pmem.Port { return c.m.mem }
+
+// Crashed reports whether this capsule is the first to run after a
+// crash-restart, i.e. it may be a repetition of a partially executed
+// capsule. This is the crashed() primitive of Algorithm 3.
+func (c *Ctx) Crashed() bool { return c.m.crashedCap }
+
+// Local returns the current value of persistent local s.
+func (c *Ctx) Local(s int) uint64 {
+	c.checkSlot(s)
+	return c.m.vol[c.m.depth][s]
+}
+
+// SetLocal assigns persistent local s; the assignment is made durable by
+// the capsule's terminal operation.
+func (c *Ctx) SetLocal(s int, v uint64) {
+	c.checkSlot(s)
+	c.m.vol[c.m.depth][s] = v
+	c.dirty |= 1 << s
+}
+
+// Seq returns the process's recoverable-CAS sequence number (slot 0).
+func (c *Ctx) Seq() uint64 { return c.m.vol[c.m.depth][SeqSlot] }
+
+// NextSeq increments and returns the sequence number. Within a capsule
+// the increments are deterministic functions of the persisted value, so
+// a repeated capsule reuses exactly the same sequence numbers, as
+// required by Section 6.
+func (c *Ctx) NextSeq() uint64 {
+	v := c.m.vol[c.m.depth][SeqSlot] + 1
+	c.SetLocal(SeqSlot, v)
+	return v
+}
+
+func (c *Ctx) checkSlot(s int) {
+	max := MaxSlots
+	if c.m.routine(c.m.depth).Compact {
+		max = MaxCompactSlots
+	}
+	if s < 0 || s >= max {
+		panic(fmt.Sprintf("capsule: slot %d out of range (max %d)", s, max))
+	}
+}
+
+func (c *Ctx) beginTerminal() {
+	if c.terminal {
+		panic("capsule: multiple terminal operations in one capsule")
+	}
+	c.terminal = true
+	c.m.mem.Stats.Boundaries++
+}
+
+// flushLines issues one Flush per set bit of the frame-line bitmask.
+func (c *Ctx) flushLines(fr pmem.Addr, lineBits uint16) {
+	for li := 0; lineBits != 0; li++ {
+		if lineBits&1 != 0 {
+			c.m.mem.Flush(fr + pmem.Addr(li)*pmem.WordsPerLine)
+		}
+		lineBits >>= 1
+	}
+}
+
+// writeDirty writes the dirty slots of the current frame into the copy
+// that placeMask designates as valid, returning the frame-line bitmask
+// of touched lines. Used by Boundary (placeMask = new mask) and Call
+// (placeMask = pending mask).
+func (c *Ctx) writeDirty(fr pmem.Addr, placeMask uint32) uint16 {
+	m := c.m
+	d := m.depth
+	var lines uint16
+	for s := 0; s < MaxSlots; s++ {
+		if c.dirty>>s&1 == 0 {
+			continue
+		}
+		a := slotAddr(fr, s, placeMask>>s&1)
+		m.mem.Write(a, m.vol[d][s])
+		lines |= 1 << ((a - fr) / pmem.WordsPerLine)
+	}
+	return lines
+}
+
+// Boundary ends the capsule, persisting all dirty locals and setting the
+// next program counter. Full frames use the two-copy protocol with up to
+// two fences (Section 2.3); compact frames use the single-line,
+// single-fence protocol (Section 9/10 optimization).
+func (c *Ctx) Boundary(nextPC int) {
+	c.beginTerminal()
+	m := c.m
+	d := m.depth
+	fr := frameAddr(m.base, d)
+	if m.routine(d).Compact {
+		c.compactBoundary(fr, nextPC)
+		return
+	}
+	newMask := m.mask[d] ^ c.dirty
+	if c.dirty != 0 {
+		lines := c.writeDirty(fr, newMask)
+		c.flushLines(fr, lines)
+		m.mem.Fence()
+	} else if m.mem.HasUnfencedFlush() {
+		// The control word below is this boundary's commit: it must not
+		// become durable (even by eviction) before the capsule's own
+		// unfenced flushes complete.
+		m.mem.Fence()
+	}
+	m.mem.Write(fr+frameCtlOff, packCtl(nextPC, newMask))
+	m.mem.Flush(fr + frameCtlOff)
+	m.mem.Fence()
+	m.mask[d] = newMask
+	m.pc[d] = nextPC
+}
+
+// compactBoundary writes all locals plus the control word into the next
+// ping/pong line, control word last, then one flush and one fence.
+func (c *Ctx) compactBoundary(fr pmem.Addr, nextPC int) {
+	m := c.m
+	d := m.depth
+	if m.mem.HasUnfencedFlush() {
+		// The ping/pong line is both data and commit: it can become
+		// durable by eviction before the final fence, so the capsule's
+		// earlier flushes must be fenced first or the boundary could
+		// commit effects that were lost.
+		m.mem.Fence()
+	}
+	e := m.epoch[d] + 1
+	ln := compactLine(fr, e)
+	for s := 0; s < MaxCompactSlots; s++ {
+		m.mem.Write(ln+pmem.Addr(s), m.vol[d][s])
+	}
+	m.mem.Write(ln+compactCtlOff, packCompact(nextPC, e))
+	m.mem.Flush(ln)
+	m.mem.Fence()
+	m.epoch[d] = e
+	m.pc[d] = nextPC
+}
+
+// Call ends the capsule by invoking routine rid at its capsule `entry`
+// with the given argument values (placed in callee slots 1..len(args));
+// when the callee Returns, its return values are stored into the
+// caller's retSlots and the caller resumes at contPC. The caller's
+// dirty locals are persisted as part of the call. The commit point is
+// the restart-pointer swing; the caller's own control word is committed
+// later, by Return, via the pending word — so a crash anywhere in
+// between cleanly repeats either the calling capsule or the callee.
+func (c *Ctx) Call(rid RoutineID, entry, contPC int, args []uint64, retSlots []int) {
+	c.beginTerminal()
+	m := c.m
+	d := m.depth
+	if m.routine(d).Compact {
+		panic("capsule: Call from a compact routine is not supported")
+	}
+	if d+1 >= MaxDepth {
+		panic("capsule: call depth exceeded")
+	}
+	if len(retSlots) > MaxRet {
+		panic("capsule: too many return slots")
+	}
+	fr := frameAddr(m.base, d)
+
+	// Pending mask: flip every slot that receives a new value between
+	// now and the Return commit — dirty locals, return slots, and the
+	// threaded sequence number.
+	flips := c.dirty | 1<<SeqSlot
+	for _, s := range retSlots {
+		c.checkSlot(s)
+		flips |= 1 << s
+	}
+	pmask := m.mask[d] ^ flips
+	lines := c.writeDirty(fr, pmask)
+	m.mem.Write(fr+framePendingOff, packPending(contPC, pmask, retSlots))
+	lines |= 1 // pending lives on frame line 0
+	c.flushLines(fr, lines)
+
+	// Initialize the callee frame (idempotent under repetition).
+	callee := m.reg.Routine(rid)
+	fr2 := frameAddr(m.base, d+1)
+	m.mem.Write(fr2+frameHdrOff, uint64(rid))
+	seq := m.vol[d][SeqSlot]
+	if callee.Compact {
+		if len(args) >= MaxCompactSlots {
+			panic("capsule: too many args for compact callee")
+		}
+		// Epoch must exceed anything left in the frame by earlier calls.
+		_, eA := unpackCompact(m.mem.Read(fr2 + frameCompactA + compactCtlOff))
+		_, eB := unpackCompact(m.mem.Read(fr2 + frameCompactB + compactCtlOff))
+		e := max(eA, eB) + 1
+		ln := compactLine(fr2, e)
+		m.mem.Write(ln+SeqSlot, seq)
+		for k, a := range args {
+			m.mem.Write(ln+pmem.Addr(1+k), a)
+		}
+		m.mem.Write(ln+compactCtlOff, packCompact(entry, e))
+		m.mem.Flush(fr2)
+		m.mem.Flush(ln)
+		m.epoch[d+1] = e
+	} else {
+		if len(args) >= MaxSlots {
+			panic("capsule: too many args for callee")
+		}
+		m.mem.Write(slotAddr(fr2, SeqSlot, 0), seq)
+		var clines uint16 = 1 // header line
+		clines |= 1 << ((slotAddr(fr2, SeqSlot, 0) - fr2) / pmem.WordsPerLine)
+		for k, a := range args {
+			sa := slotAddr(fr2, 1+k, 0)
+			m.mem.Write(sa, a)
+			clines |= 1 << ((sa - fr2) / pmem.WordsPerLine)
+		}
+		m.mem.Write(fr2+frameCtlOff, packCtl(entry, 0))
+		c.flushLines(fr2, clines)
+		m.mask[d+1] = 0
+	}
+	m.mem.Fence()
+
+	// Commit: swing the restart pointer to the callee frame.
+	m.mem.Write(restartAddr(m.base), uint64(d+1))
+	m.mem.Flush(restartAddr(m.base))
+	m.mem.Fence()
+
+	// Volatile view: caller resumes at contPC with pmask once Return
+	// commits; callee starts now.
+	m.mask[d] = pmask
+	m.pc[d] = contPC
+	m.depth = d + 1
+	m.rid[d+1] = rid
+	m.pc[d+1] = entry
+	for s := range m.vol[d+1] {
+		m.vol[d+1][s] = 0
+	}
+	m.vol[d+1][SeqSlot] = seq
+	for k, a := range args {
+		m.vol[d+1][1+k] = a
+	}
+	m.volOK[d+1] = true
+}
+
+// Return ends the capsule and the current routine, delivering vals into
+// the caller's return slots (as recorded by the matching Call) and
+// committing the caller's pending control word. The final capsule of a
+// routine must compute its return values deterministically from
+// persisted locals and recoverable operations, since a crash can repeat
+// it after the values were already written.
+func (c *Ctx) Return(vals ...uint64) {
+	c.beginTerminal()
+	m := c.m
+	d := m.depth
+	if d == 0 {
+		panic("capsule: Return at depth 0; use Finish")
+	}
+	if m.mem.HasUnfencedFlush() {
+		// The caller's control word below commits this routine's
+		// completion; the routine's unfenced flushes must land first.
+		m.mem.Fence()
+	}
+	fr1 := frameAddr(m.base, d-1)
+	contPC, pmask, retSlots := unpackPending(m.mem.Read(fr1 + framePendingOff))
+	if len(vals) != len(retSlots) {
+		panic(fmt.Sprintf("capsule: Return with %d values, caller expects %d", len(vals), len(retSlots)))
+	}
+	var lines uint16
+	for k, s := range retSlots {
+		a := slotAddr(fr1, s, pmask>>s&1)
+		m.mem.Write(a, vals[k])
+		lines |= 1 << ((a - fr1) / pmem.WordsPerLine)
+	}
+	// Thread the sequence number back to the caller.
+	seq := m.vol[d][SeqSlot]
+	sa := slotAddr(fr1, SeqSlot, pmask>>SeqSlot&1)
+	m.mem.Write(sa, seq)
+	lines |= 1 << ((sa - fr1) / pmem.WordsPerLine)
+	// Commit the caller's control word; the restart swing below makes
+	// it take effect exactly once even across repetitions.
+	m.mem.Write(fr1+frameCtlOff, packCtl(contPC, pmask))
+	lines |= 1
+	c.flushLines(fr1, lines)
+	m.mem.Fence()
+
+	m.mem.Write(restartAddr(m.base), uint64(d-1))
+	m.mem.Flush(restartAddr(m.base))
+	m.mem.Fence()
+
+	m.depth = d - 1
+	if m.volOK[d-1] {
+		for k, s := range retSlots {
+			m.vol[d-1][s] = vals[k]
+		}
+		m.vol[d-1][SeqSlot] = seq
+		m.pc[d-1] = contPC
+		m.mask[d-1] = pmask
+	} else {
+		m.loadFrame(d - 1)
+	}
+}
+
+// Done completes the current routine regardless of depth: Return when
+// nested, Finish at depth 0. Routines that can both be Called from
+// encapsulated code and Invoked directly (see Machine.Invoke) should end
+// with Done.
+func (c *Ctx) Done(vals ...uint64) {
+	if c.m.depth == 0 {
+		c.Finish(vals...)
+	} else {
+		c.Return(vals...)
+	}
+}
+
+// Finish ends the depth-0 routine; Run returns vals. The completion is
+// persisted (pc = PCDone) so a crash after Finish does not re-run the
+// program — except under a light Invoke, where the completion stays
+// volatile: a crash re-executes the routine's final capsule, which by
+// capsule correctness reaches the same completion, and the dirty slots
+// are carried into the next operation's first boundary.
+func (c *Ctx) Finish(vals ...uint64) {
+	m := c.m
+	if m.depth != 0 {
+		panic("capsule: Finish at depth > 0; use Return")
+	}
+	if m.light {
+		if c.terminal {
+			panic("capsule: multiple terminal operations in one capsule")
+		}
+		c.terminal = true
+		m.carryDirty |= c.dirty
+		m.finished = true
+		m.finishedLight = true
+		m.rets = vals
+		return
+	}
+	c.Boundary(PCDone)
+	m.finished = true
+	m.rets = vals
+}

@@ -1,0 +1,354 @@
+package capsule
+
+import (
+	"fmt"
+
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+)
+
+// RoutineID identifies a registered routine.
+type RoutineID int
+
+// PCDone is the control-word program counter recording that a routine's
+// top-level invocation has completed.
+const PCDone = 0xFFF
+
+// Capsule is one capsule body. It must finish by calling exactly one of
+// the Ctx terminal operations (Boundary, Call, Return, Finish) and then
+// return immediately.
+type Capsule func(c *Ctx)
+
+// Routine is encapsulated code: an array of capsules indexed by program
+// counter.
+type Routine struct {
+	ID      RoutineID
+	Name    string
+	Compact bool // use the one-cache-line boundary optimization
+	Caps    []Capsule
+}
+
+// Registry holds the routines of a program. Registration order must be
+// deterministic across restarts (routine ids are persisted), which it is
+// as long as programs register routines in straight-line setup code.
+type Registry struct {
+	routines []*Routine
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register adds a routine and returns its id.
+func (r *Registry) Register(name string, compact bool, caps ...Capsule) RoutineID {
+	if len(caps) == 0 {
+		panic("capsule: routine needs at least one capsule")
+	}
+	if len(caps) >= PCDone {
+		panic("capsule: too many capsules in routine " + name)
+	}
+	rt := &Routine{ID: RoutineID(len(r.routines)), Name: name, Compact: compact, Caps: caps}
+	r.routines = append(r.routines, rt)
+	return rt.ID
+}
+
+// Routine returns the routine with the given id.
+func (r *Registry) Routine(id RoutineID) *Routine {
+	if int(id) < 0 || int(id) >= len(r.routines) {
+		panic(fmt.Sprintf("capsule: unknown routine %d", id))
+	}
+	return r.routines[id]
+}
+
+// Machine executes encapsulated routines for one process, implementing
+// the restart-pointer discipline of the paper: all resumption state
+// lives in persistent memory; the machine's own fields are volatile
+// caches that are reconstructed from the frames after a crash.
+type Machine struct {
+	p    *proc.Proc
+	mem  *pmem.Port
+	reg  *Registry
+	base pmem.Addr
+
+	depth int
+	vol   [MaxDepth][MaxSlots]uint64
+	volOK [MaxDepth]bool
+	pc    [MaxDepth]int
+	mask  [MaxDepth]uint32
+	epoch [MaxDepth]uint64
+	rid   [MaxDepth]RoutineID
+
+	crashedCap bool
+	finished   bool
+	rets       []uint64
+
+	// light marks a light Invoke in progress: the final capsule's
+	// completion is volatile, its dirty slots carried into the next
+	// operation's first boundary via carryDirty. finishedLight records
+	// that the persisted pc is mid-routine only because the completion
+	// was volatile, not because work is pending.
+	light         bool
+	finishedLight bool
+	carryDirty    uint32
+}
+
+// NewMachine creates a machine for process p whose capsule area starts
+// at base (from AllocProcAreas). Construct a fresh Machine on every
+// (re)entry of the process program; its volatile state is rebuilt from
+// persistent memory.
+func NewMachine(p *proc.Proc, reg *Registry, base pmem.Addr) *Machine {
+	return &Machine{p: p, mem: p.Mem(), reg: reg, base: base}
+}
+
+// Install initializes the persistent capsule area so that the process
+// will begin executing routine rid with the given arguments (placed in
+// slots 1..len(args)). Must run before the process program starts (or
+// between runs); it is not crash-safe itself.
+func Install(port *pmem.Port, base pmem.Addr, reg *Registry, rid RoutineID, args ...uint64) {
+	r := reg.Routine(rid)
+	fr := frameAddr(base, 0)
+	port.Write(fr+frameHdrOff, uint64(rid))
+	if r.Compact {
+		if len(args) >= MaxCompactSlots {
+			panic("capsule: too many args for compact frame")
+		}
+		ln := compactLine(fr, 0)
+		port.Write(ln+SeqSlot, 0)
+		for k, a := range args {
+			port.Write(ln+pmem.Addr(1+k), a)
+		}
+		port.Write(ln+compactCtlOff, packCompact(0, 0))
+		port.Flush(ln)
+	} else {
+		if len(args) >= MaxSlots {
+			panic("capsule: too many args for frame")
+		}
+		port.Write(slotAddr(fr, SeqSlot, 0), 0)
+		for k, a := range args {
+			port.Write(slotAddr(fr, 1+k, 0), a)
+		}
+		port.Write(fr+frameCtlOff, packCtl(0, 0))
+		for li := pmem.Addr(0); li < frameLines; li++ {
+			port.Flush(fr + li*pmem.WordsPerLine)
+		}
+	}
+	port.Flush(fr)
+	port.Fence()
+	port.Write(restartAddr(base), 0)
+	port.Flush(restartAddr(base))
+	port.Fence()
+}
+
+// InstallIdle initializes a process's capsule area with routine rid in
+// the completed state: nothing to resume, ready for Machine.Invoke.
+func InstallIdle(port *pmem.Port, base pmem.Addr, reg *Registry, rid RoutineID) {
+	r := reg.Routine(rid)
+	fr := frameAddr(base, 0)
+	port.Write(fr+frameHdrOff, uint64(rid))
+	if r.Compact {
+		ln := compactLine(fr, 0)
+		port.Write(ln+SeqSlot, 0)
+		port.Write(ln+compactCtlOff, packCompact(PCDone, 0))
+		port.Flush(ln)
+	} else {
+		port.Write(slotAddr(fr, SeqSlot, 0), 0)
+		port.Write(fr+frameCtlOff, packCtl(PCDone, 0))
+		port.Flush(fr + frameSlotsOff)
+	}
+	port.Flush(fr)
+	port.Fence()
+	port.Write(restartAddr(base), 0)
+	port.Flush(restartAddr(base))
+	port.Fence()
+}
+
+// Run resumes execution from the persistent restart state and runs until
+// the depth-0 routine calls Finish. It returns the Finish values (nil if
+// resuming a program that had already finished before a crash).
+func (m *Machine) Run() []uint64 {
+	m.crashedCap = m.p.Crashed()
+	m.reload()
+	for {
+		d := m.depth
+		if m.pc[d] == PCDone {
+			if d != 0 {
+				panic("capsule: PCDone at depth > 0")
+			}
+			m.finished = true
+		}
+		if m.finished {
+			return m.rets
+		}
+		r := m.reg.Routine(m.rid[d])
+		pc := m.pc[d]
+		if pc < 0 || pc >= len(r.Caps) {
+			panic(fmt.Sprintf("capsule: routine %s pc %d out of range", r.Name, pc))
+		}
+		ctx := Ctx{m: m, dirty: m.carryDirty}
+		m.carryDirty = 0
+		r.Caps[pc](&ctx)
+		if !ctx.terminal {
+			panic(fmt.Sprintf("capsule: routine %s pc %d returned without a terminal op", r.Name, pc))
+		}
+		m.crashedCap = false
+	}
+}
+
+// reload reconstructs the volatile caches from persistent memory after a
+// (re)start. It performs only reads, so it is trivially idempotent and
+// may itself be interrupted by further crashes.
+func (m *Machine) reload() {
+	for i := range m.volOK {
+		m.volOK[i] = false
+	}
+	m.depth = int(m.mem.Read(restartAddr(m.base)))
+	if m.depth < 0 || m.depth >= MaxDepth {
+		panic(fmt.Sprintf("capsule: corrupt restart depth %d", m.depth))
+	}
+	m.loadFrame(m.depth)
+}
+
+// loadFrame populates the volatile cache for depth d from its frame,
+// choosing the valid copy of each slot per the frame flavour's protocol.
+func (m *Machine) loadFrame(d int) {
+	fr := frameAddr(m.base, d)
+	rid := RoutineID(m.mem.Read(fr + frameHdrOff))
+	r := m.reg.Routine(rid)
+	m.rid[d] = rid
+	if r.Compact {
+		ctlA := m.mem.Read(fr + frameCompactA + compactCtlOff)
+		ctlB := m.mem.Read(fr + frameCompactB + compactCtlOff)
+		pcA, eA := unpackCompact(ctlA)
+		pcB, eB := unpackCompact(ctlB)
+		// The line with the larger epoch is the most recent fully
+		// persisted boundary: its control word was written after its
+		// slots, and same-line writes persist in order, so a partially
+		// persisted boundary still shows the line's previous epoch.
+		pc, e := pcA, eA
+		ln := fr + frameCompactA
+		if eB > eA {
+			pc, e = pcB, eB
+			ln = fr + frameCompactB
+		}
+		m.pc[d], m.epoch[d] = pc, e
+		for s := 0; s < MaxCompactSlots; s++ {
+			m.vol[d][s] = m.mem.Read(ln + pmem.Addr(s))
+		}
+	} else {
+		pc, mask := unpackCtl(m.mem.Read(fr + frameCtlOff))
+		m.pc[d], m.mask[d] = pc, mask
+		for s := 0; s < MaxSlots; s++ {
+			m.vol[d][s] = m.mem.Read(slotAddr(fr, s, mask>>s&1))
+		}
+	}
+	m.volOK[d] = true
+}
+
+func (m *Machine) routine(d int) *Routine { return m.reg.Routine(m.rid[d]) }
+
+// Invoke runs routine rid as a fresh depth-0 invocation starting at
+// capsule `entry` with the given arguments, and returns its Done/Finish
+// values. The frame reset is one boundary (a single flush+fence for
+// compact routines), mirroring the paper's benchmark methodology where
+// the surrounding program's own capsule boundary is not charged to the
+// queue operation. The process's sequence number (slot 0) is carried
+// across invocations.
+//
+// Crash semantics: the reset commits like any boundary, so a restart
+// resumes the *operation* exactly; what is lost is only the volatile
+// caller loop around Invoke — the caller is assumed to handle its own
+// recovery (or to be a benchmark that does not crash). For a fully
+// recoverable program, use Call from an encapsulated routine instead.
+func (m *Machine) Invoke(rid RoutineID, entry int, args ...uint64) []uint64 {
+	m.crashedCap = m.p.Crashed()
+	if !m.volOK[0] {
+		m.reload()
+		if m.depth != 0 {
+			panic("capsule: Invoke with a nested frame active")
+		}
+		// Finish any operation interrupted by a crash before starting
+		// the new one (its result goes to the persistent state; the
+		// volatile caller that wanted it is gone anyway).
+		if m.pc[0] != PCDone {
+			m.runToCompletion()
+		}
+	} else if m.pc[0] != PCDone && !m.finishedLight {
+		m.runToCompletion()
+	}
+
+	r := m.reg.Routine(rid)
+	if m.rid[0] != rid {
+		// Routine change: persist the header before any control word
+		// that relies on it for layout parsing, then take the full
+		// reset path.
+		fr := frameAddr(m.base, 0)
+		m.mem.Write(fr+frameHdrOff, uint64(rid))
+		m.mem.Flush(fr)
+		m.mem.Fence()
+		m.rid[0] = rid
+		m.carryDirty = 0xFFFFFF // persist everything at the first boundary
+	}
+	maxArgs := MaxSlots
+	if r.Compact {
+		maxArgs = MaxCompactSlots
+	}
+	if len(args) >= maxArgs {
+		panic("capsule: too many args for frame")
+	}
+	// Light reset: volatile only. The operation's first capsule ends
+	// with a boundary that persists the arguments and entry state; a
+	// crash before it simply never starts the operation, which is
+	// indistinguishable from crashing just before Invoke.
+	seq := m.vol[0][SeqSlot]
+	for s := 1; s < maxArgs; s++ {
+		m.vol[0][s] = 0
+	}
+	for k, a := range args {
+		m.vol[0][1+k] = a
+		m.carryDirty |= 1 << (1 + k)
+	}
+	m.vol[0][SeqSlot] = seq
+	m.pc[0] = entry
+	m.light = true
+	m.finishedLight = false
+	m.runToCompletion()
+	m.light = false
+	return m.rets
+}
+
+// runToCompletion drives the current frame until its routine finishes.
+func (m *Machine) runToCompletion() {
+	m.finished = false
+	m.rets = nil
+	for !m.finished {
+		d := m.depth
+		if m.pc[d] == PCDone {
+			break
+		}
+		r := m.reg.Routine(m.rid[d])
+		ctx := Ctx{m: m, dirty: m.carryDirty}
+		m.carryDirty = 0
+		r.Caps[m.pc[d]](&ctx)
+		if !ctx.terminal {
+			panic("capsule: routine " + r.Name + " returned without a terminal op")
+		}
+		m.crashedCap = false
+	}
+}
+
+// LoadState reloads the persistent restart state and returns the
+// current depth, program counter and a copy of the current frame's
+// locals. Intended for quiescent inspection (tests, recovery audits) —
+// pc == PCDone means the depth-0 routine has completed and the locals
+// are those persisted by its final capsule.
+func (m *Machine) LoadState() (depth, pc int, locals []uint64) {
+	m.reload()
+	locals = make([]uint64, MaxSlots)
+	copy(locals, m.vol[m.depth][:])
+	return m.depth, m.pc[m.depth], locals
+}
+
+// Depth returns the current call depth (volatile view).
+func (m *Machine) Depth() int { return m.depth }
+
+// Proc returns the owning process.
+func (m *Machine) Proc() *proc.Proc { return m.p }

@@ -1,0 +1,174 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps unit-test runs quick; the real parameters live in
+// cmd/benchfigs and bench_test.go.
+func smallCfg() Config {
+	return Config{
+		Threads:    2,
+		Pairs:      300,
+		SeedNodes:  500,
+		FlushDelay: 10,
+		FenceDelay: 5,
+	}
+}
+
+func TestRunAllKinds(t *testing.T) {
+	for _, k := range AllKinds {
+		k := k
+		t.Run(k, func(t *testing.T) {
+			r, err := Run(k, smallCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Ops != 2*2*300 {
+				t.Fatalf("ops=%d", r.Ops)
+			}
+			if r.Elapsed <= 0 {
+				t.Fatal("no elapsed time")
+			}
+			if r.MopsPerSec() <= 0 {
+				t.Fatal("no throughput")
+			}
+		})
+	}
+}
+
+func TestUnknownKind(t *testing.T) {
+	if _, err := Run("nope", smallCfg()); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestPersistenceCostOrdering(t *testing.T) {
+	// The figures' shape is driven by per-op persistence work; pin the
+	// orderings the paper reports.
+	cfg := smallCfg()
+	cfg.Threads = 1
+	res := map[string]Result{}
+	for _, k := range AllKinds {
+		r, err := Run(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res[k] = r
+	}
+	// The plain MSQ persists nothing.
+	if res[KindMSQ].FlushesPerOp() != 0 {
+		t.Fatalf("msq flushes/op = %f", res[KindMSQ].FlushesPerOp())
+	}
+	// Within a variant, manual flush placement beats the Izraelevitz
+	// construction's flush-every-access (the Figure 5 vs Figure 6
+	// contrast).
+	if res[KindGeneral].FlushesPerOp() >= res[KindGeneralIzra].FlushesPerOp() {
+		t.Fatalf("general+manual %f >= general+izra %f flushes/op",
+			res[KindGeneral].FlushesPerOp(), res[KindGeneralIzra].FlushesPerOp())
+	}
+	if res[KindNormalized].FlushesPerOp() >= res[KindNormalizedIzra].FlushesPerOp() {
+		t.Fatalf("normalized+manual %f >= normalized+izra %f flushes/op",
+			res[KindNormalized].FlushesPerOp(), res[KindNormalizedIzra].FlushesPerOp())
+	}
+	// Adding capsules on top of Izraelevitz costs more again (Figure 5
+	// ordering: Izra-MSQ > Normalized+izra > General+izra in
+	// throughput, i.e. the reverse in flushes).
+	if res[KindGeneralIzra].FlushesPerOp() <= res[KindNormalizedIzra].FlushesPerOp() {
+		t.Fatalf("general+izra %f <= normalized+izra %f flushes/op",
+			res[KindGeneralIzra].FlushesPerOp(), res[KindNormalizedIzra].FlushesPerOp())
+	}
+	if res[KindNormalizedIzra].FlushesPerOp() <= res[KindIzraMSQ].FlushesPerOp() {
+		t.Fatalf("normalized+izra %f <= izra-msq %f flushes/op",
+			res[KindNormalizedIzra].FlushesPerOp(), res[KindIzraMSQ].FlushesPerOp())
+	}
+	// Figure 6 orderings: Opt variants fence less than their bases;
+	// Normalized boundaries fewer than General.
+	if res[KindGeneralOpt].FencesPerOp() >= res[KindGeneral].FencesPerOp() {
+		t.Fatalf("general-opt fences %f >= general %f",
+			res[KindGeneralOpt].FencesPerOp(), res[KindGeneral].FencesPerOp())
+	}
+	if res[KindNormalizedOpt].FencesPerOp() >= res[KindNormalized].FencesPerOp() {
+		t.Fatalf("normalized-opt fences %f >= normalized %f",
+			res[KindNormalizedOpt].FencesPerOp(), res[KindNormalized].FencesPerOp())
+	}
+	if res[KindNormalized].BoundariesPerOp() >= res[KindGeneral].BoundariesPerOp() {
+		t.Fatalf("normalized boundaries %f >= general %f",
+			res[KindNormalized].BoundariesPerOp(), res[KindGeneral].BoundariesPerOp())
+	}
+}
+
+func TestSweepAndPrint(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Pairs = 100
+	res, err := Sweep([]string{KindMSQ, KindNormalizedOpt}, []int{1, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("results: %d", len(res))
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, "test", res)
+	out := buf.String()
+	for _, want := range []string{"msq", "normalized-opt", "threads", "flush/op"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRecoveryStudy(t *testing.T) {
+	pts := RecoveryStudy([]uint32{10, 2000})
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	// LogQueue recovery grows with queue length.
+	if pts[1].LogQueueSteps < pts[0].LogQueueSteps*10 {
+		t.Fatalf("logqueue recovery not O(n): %d -> %d",
+			pts[0].LogQueueSteps, pts[1].LogQueueSteps)
+	}
+	// Capsule recovery is constant (within noise).
+	if pts[1].CapsuleSteps > pts[0].CapsuleSteps*2+16 {
+		t.Fatalf("capsule recovery not O(1): %d -> %d",
+			pts[0].CapsuleSteps, pts[1].CapsuleSteps)
+	}
+	var buf bytes.Buffer
+	PrintRecovery(&buf, pts)
+	if !strings.Contains(buf.String(), "recovery latency") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestAttiyaSpaceOption(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Attiya = true
+	r, err := Run(KindNormalized, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MopsPerSec() <= 0 {
+		t.Fatal("no throughput with Attiya CAS")
+	}
+}
+
+func TestFiguresDefined(t *testing.T) {
+	for fig, kinds := range Figures {
+		if len(kinds) < 2 {
+			t.Fatalf("figure %s has %d kinds", fig, len(kinds))
+		}
+		for _, k := range kinds {
+			found := false
+			for _, a := range AllKinds {
+				if a == k {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("figure %s references unknown kind %s", fig, k)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/logqueue"
+	"delayfree/internal/pmem"
+	"delayfree/internal/pqueue"
+	"delayfree/internal/proc"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+)
+
+// RecoveryPoint is one point of the recovery-latency study (experiment
+// E6): how many memory operations each scheme needs to recover a
+// process after a crash, as a function of queue length. The paper's
+// claim: LogQueue recovery traverses the entire queue, while the
+// transformations reload one capsule and query one recoverable CAS —
+// constant, plus an O(P) announcement scan when using the Attiya CAS.
+type RecoveryPoint struct {
+	QueueLen      uint32
+	LogQueueSteps uint64
+	CapsuleSteps  uint64
+}
+
+// RecoveryStudy measures recovery cost at each queue length.
+func RecoveryStudy(lengths []uint32) []RecoveryPoint {
+	out := make([]RecoveryPoint, 0, len(lengths))
+	for _, n := range lengths {
+		out = append(out, RecoveryPoint{
+			QueueLen:      n,
+			LogQueueSteps: logQueueRecoverySteps(n),
+			CapsuleSteps:  capsuleRecoverySteps(n),
+		})
+	}
+	return out
+}
+
+// logQueueRecoverySteps seeds a LogQueue with n nodes, announces an
+// enqueue that never linked (the worst but common case: the crash hit
+// between announce and link) and counts the memory operations Recover
+// performs.
+func logQueueRecoverySteps(n uint32) uint64 {
+	mem := pmem.New(pmem.Config{Words: uint64(n+1024) * pmem.WordsPerLine * 2})
+	rt := proc.NewRuntime(mem, 1)
+	arena := qnode.NewArena(mem, n+64)
+	port := rt.Proc(0).Mem()
+	q := logqueue.New(mem, port, arena, 1, 1)
+	if n > 0 {
+		q.Seed(port, 2, n, func(i uint32) uint64 { return uint64(i) })
+	}
+	lo, hi := arena.Range(0, 1, n+2)
+	h := q.NewHandle(port, 0, lo, hi)
+	h.AnnouncePendingEnqueue()
+	before := port.Stats.Steps
+	q.Recover(port, 0)
+	return port.Stats.Steps - before
+}
+
+// capsuleRecoverySteps seeds a Normalized transformed queue with n
+// nodes, crashes a process mid-operation, and counts the memory
+// operations of the capsule reload plus the recoverable-CAS recovery on
+// the first re-executed capsule — everything the process needs before
+// it can continue.
+func capsuleRecoverySteps(n uint32) uint64 {
+	mem := pmem.New(pmem.Config{
+		Words:   uint64(n+4096)*pmem.WordsPerLine*2 + capsule.ProcWords + 1<<14,
+		Mode:    pmem.Private,
+		Checked: true,
+	})
+	rt := proc.NewRuntime(mem, 1)
+	arena := qnode.NewArena(mem, n+1024)
+	space := rcas.NewSpace(mem, 1)
+	q := pqueue.NewNormalized(pqueue.Config{Mem: mem, Space: space, Arena: arena, P: 1})
+	reg := capsule.NewRegistry()
+	q.Register(reg)
+	bases := capsule.AllocProcAreas(mem, 1)
+	setup := rt.Proc(0).Mem()
+	q.Init(setup, pqueue.DummyNode+n)
+	if n > 0 {
+		q.Seed(setup, pqueue.DummyNode+1, n, func(i uint32) uint64 { return uint64(i) })
+	}
+	drv := pqueue.RegisterPairsDriver(reg, q)
+	pqueue.InstallDriver(rt, reg, drv, bases, 4)
+	// Crash mid-run, then measure the steps from restart until the
+	// machine has executed its first post-crash capsule.
+	rt.Proc(0).ArmCrashAfter(120)
+	var recoverySteps uint64
+	measured := false
+	rt.RunToCompletion(func(i int) proc.Program {
+		return func(p *proc.Proc) {
+			port := p.Mem()
+			if p.PeekCrashed() && !measured {
+				measured = true
+				before := port.Stats.Steps
+				m := capsule.NewMachine(p, reg, bases[i])
+				m.LoadState() // the reload a restart performs
+				recoverySteps = port.Stats.Steps - before
+				// Add the recoverable-CAS recovery the first capsule
+				// would run (constant for Algorithm 1).
+				before = port.Stats.Steps
+				space.CheckRecovery(port, q.HeadAddr(), 1, 0)
+				recoverySteps += port.Stats.Steps - before
+			}
+			capsule.NewMachine(p, reg, bases[i]).Run()
+		}
+	})
+	return recoverySteps
+}
+
+// PrintRecovery renders the study.
+func PrintRecovery(w io.Writer, points []RecoveryPoint) {
+	fmt.Fprintln(w, "== recovery latency (memory operations to resume after a crash) ==")
+	fmt.Fprintf(w, "%-12s %18s %18s\n", "queue-len", "logqueue", "capsule+rcas")
+	for _, p := range points {
+		fmt.Fprintf(w, "%-12d %18d %18d\n", p.QueueLen, p.LogQueueSteps, p.CapsuleSteps)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,440 @@
+// Package logqueue implements the durable, detectable lock-free queue of
+// Friedman, Herlihy, Marathe and Petrank (PPoPP 2018) — the "LogQueue" —
+// which the paper uses as its hand-tuned comparator (Figure 6).
+//
+// Unlike the paper's transformations, the LogQueue is a bespoke design:
+// every thread owns a persistent log entry announcing its current
+// operation and a persistent return-value slot; dequeues claim a node by
+// CASing a dequeuer word inside it before swinging the head, and any
+// thread can help a claimant by persisting its return value and swinging
+// head past the claimed node; recovery determines an interrupted
+// operation's fate by *traversing the queue* — O(queue length), versus
+// the transformations' O(1) capsule reload (the contrast measured by the
+// recovery experiment, E6 in DESIGN.md).
+//
+// Following the paper's experimental setup, this version flushes both
+// head and tail ("to allow for faster recovery").
+//
+// Nodes are recycled through per-thread free lists. Link words carry
+// reuse tags, and the dequeuer word carries the claimant's operation
+// sequence number (kind:1 | tid:15 | seq:48), so stale operations on
+// recycled nodes fail and recovery can tell a pending claim from an old
+// one — standing in for the garbage collection the original relies on.
+package logqueue
+
+import (
+	"delayfree/internal/pmem"
+	"delayfree/internal/qnode"
+)
+
+// Node layout within its cache line.
+const (
+	offVal  = 0
+	offNext = 1 // tagged pointer ⟨idx:32 | tag:32⟩
+	offDeq  = 2 // dequeuer word, see packClaim/packReset
+)
+
+// Per-thread log entry layout: two ping-pong lines per thread, epoch
+// written last, so a torn announce is never visible (the line-prefix
+// persistence of the crash model could otherwise pair a new sequence
+// number with the previous operation code). The original relies on
+// GC-fresh log records; the ping-pong pair is the fixed-memory
+// equivalent.
+const (
+	logOp    = 0 // OpNone, OpEnq, OpDeq
+	logSeq   = 1
+	logNode  = 2 // enqueue: node index
+	logDone  = 3
+	logEpoch = 4
+)
+
+// Return-value slot layout (one line per thread). retSeq is the guard:
+// it is written last, so same-line persist ordering guarantees the
+// value and kind are durable whenever the guard is.
+const (
+	retVal = 0
+	retOK  = 1 // 1 = value, 2 = empty
+	retSeq = 2
+)
+
+// Operation codes in the log.
+const (
+	OpNone = iota
+	OpEnq
+	OpDeq
+)
+
+func packPtr(idx, tag uint32) uint64 { return uint64(idx) | uint64(tag)<<32 }
+func idxOf(p uint64) uint32          { return uint32(p) }
+func tagOf(p uint64) uint32          { return uint32(p >> 32) }
+
+const seqMask = 1<<48 - 1
+
+// packReset builds the unclaimed dequeuer word: a fresh nonce (the
+// enqueuer's id and operation sequence number) that no stale claim
+// expectation can match after the node is recycled.
+func packReset(tid int, seq uint64) uint64 {
+	return uint64(tid)<<48 | seq&seqMask
+}
+
+// packClaim builds a claim by thread tid (0-based) performing the
+// dequeue with the given sequence number.
+func packClaim(tid int, seq uint64) uint64 {
+	return 1<<63 | uint64(tid)<<48 | seq&seqMask
+}
+
+func isClaimed(w uint64) bool  { return w>>63 == 1 }
+func claimTid(w uint64) int    { return int(w >> 48 & 0x7FFF) }
+func claimSeq(w uint64) uint64 { return w & seqMask }
+
+// Queue is the shared LogQueue state.
+type Queue struct {
+	arena *qnode.Arena
+	head  pmem.Addr
+	tail  pmem.Addr
+	logs  pmem.Addr // P lines
+	rets  pmem.Addr // P lines
+	nproc int
+}
+
+// New creates an empty queue with the given dummy node.
+func New(mem *pmem.Memory, port *pmem.Port, arena *qnode.Arena, P int, dummyIdx uint32) *Queue {
+	q := &Queue{arena: arena, nproc: P}
+	q.head = mem.AllocLines(1)
+	q.tail = mem.AllocLines(1)
+	q.logs = mem.AllocLines(2 * uint64(P))
+	q.rets = mem.AllocLines(uint64(P))
+	port.Write(arena.Addr(dummyIdx)+offNext, packPtr(0, 0))
+	port.Write(arena.Addr(dummyIdx)+offDeq, packReset(0, 0))
+	port.Write(q.head, packPtr(dummyIdx, 0))
+	port.Write(q.tail, packPtr(dummyIdx, 0))
+	port.Flush(arena.Addr(dummyIdx))
+	port.Flush(q.head)
+	port.Flush(q.tail)
+	port.Fence()
+	return q
+}
+
+func (q *Queue) logPair(p int) pmem.Addr { return q.logs + pmem.Addr(2*p)*pmem.WordsPerLine }
+func (q *Queue) retAddr(p int) pmem.Addr { return q.rets + pmem.Addr(p)*pmem.WordsPerLine }
+
+// curLog returns the address and epoch of thread p's most recent fully
+// persisted log line.
+func (q *Queue) curLog(port *pmem.Port, p int) (pmem.Addr, uint64) {
+	a := q.logPair(p)
+	b := a + pmem.WordsPerLine
+	ea := port.Read(a + logEpoch)
+	eb := port.Read(b + logEpoch)
+	if eb > ea {
+		return b, eb
+	}
+	return a, ea
+}
+
+// Handle is one thread's access to the queue. Not safe for concurrent
+// use.
+type Handle struct {
+	q     *Queue
+	port  *pmem.Port
+	pid   int
+	alloc *qnode.VolatileAlloc
+	seq   uint64
+}
+
+// NewHandle creates thread pid's handle, allocating nodes from [lo, hi).
+func (q *Queue) NewHandle(port *pmem.Port, pid int, lo, hi uint32) *Handle {
+	return &Handle{q: q, port: port, pid: pid, alloc: qnode.NewVolatileAlloc(q.arena, lo, hi)}
+}
+
+// Seq returns the sequence number of the last operation started.
+func (h *Handle) Seq() uint64 { return h.seq }
+
+// announce persists the thread's log entry for a new operation in the
+// inactive ping-pong line, committing it with the epoch word.
+func (h *Handle) announce(op uint64, node uint32) {
+	p, q := h.port, h.q
+	h.seq++
+	_, e := q.curLog(p, h.pid)
+	e++
+	la := q.logPair(h.pid) + pmem.Addr(e%2)*pmem.WordsPerLine
+	p.Write(la+logOp, op)
+	p.Write(la+logSeq, h.seq)
+	p.Write(la+logNode, uint64(node))
+	p.Write(la+logDone, 0)
+	p.Write(la+logEpoch, e) // last: commits the entry
+	p.Flush(la)
+	p.Fence()
+}
+
+// complete marks the announced operation done (a single-word write is
+// tear-free).
+func (h *Handle) complete() {
+	p, q := h.port, h.q
+	la, _ := q.curLog(p, h.pid)
+	p.Write(la+logDone, 1)
+	p.Flush(la)
+	p.Fence()
+}
+
+// Enqueue appends v durably.
+func (h *Handle) Enqueue(v uint64) {
+	p, q := h.port, h.q
+	n := h.alloc.Alloc()
+	na := q.arena.Addr(n)
+	p.Write(na+offVal, v)
+	p.Write(na+offNext, packPtr(0, tagOf(p.Read(na+offNext))+1))
+	p.Write(na+offDeq, packReset(h.pid+1, h.seq+1))
+	p.Flush(na)
+	h.announce(OpEnq, n)
+	for {
+		t := p.Read(q.tail)
+		ta := q.arena.Addr(idxOf(t))
+		nx := p.Read(ta + offNext)
+		if t != p.Read(q.tail) {
+			continue
+		}
+		if idxOf(nx) == 0 {
+			if p.CAS(ta+offNext, nx, packPtr(n, tagOf(nx)+1)) {
+				p.Flush(ta + offNext)
+				p.Fence()
+				p.CAS(q.tail, t, packPtr(n, tagOf(t)+1))
+				p.Flush(q.tail)
+				p.Fence()
+				h.complete()
+				return
+			}
+		} else {
+			p.Flush(ta + offNext)
+			p.Fence()
+			p.CAS(q.tail, t, packPtr(idxOf(nx), tagOf(t)+1))
+		}
+	}
+}
+
+// Dequeue removes the head value durably; ok is false when the queue is
+// observed empty. The return value is persisted (detectably) before the
+// head swing, by the claimant or by helpers.
+func (h *Handle) Dequeue() (v uint64, ok bool) {
+	p, q := h.port, h.q
+	h.announce(OpDeq, 0)
+	ra := q.retAddr(h.pid)
+	for {
+		hd := p.Read(q.head)
+		t := p.Read(q.tail)
+		ha := q.arena.Addr(idxOf(hd))
+		nx := p.Read(ha + offNext)
+		if hd != p.Read(q.head) {
+			continue
+		}
+		if idxOf(hd) == idxOf(t) {
+			if idxOf(nx) == 0 {
+				p.Write(ra+retOK, 2)
+				p.Write(ra+retSeq, h.seq) // guard last
+				p.Flush(ra)
+				p.Fence()
+				h.complete()
+				return 0, false
+			}
+			p.Flush(ha + offNext)
+			p.Fence()
+			p.CAS(q.tail, t, packPtr(idxOf(nx), tagOf(t)+1))
+			continue
+		}
+		nxa := q.arena.Addr(idxOf(nx))
+		val := p.Read(nxa + offVal)
+		deq := p.Read(nxa + offDeq)
+		if !isClaimed(deq) {
+			// Claim the node; this CAS is the linearization point.
+			if p.CAS(nxa+offDeq, deq, packClaim(h.pid, h.seq)) {
+				p.Flush(nxa + offDeq)
+				p.Fence()
+				p.Write(ra+retVal, val)
+				p.Write(ra+retOK, 1)
+				p.Write(ra+retSeq, h.seq) // guard last
+				p.Flush(ra)
+				p.Fence()
+				if p.CAS(q.head, hd, packPtr(idxOf(nx), tagOf(hd)+1)) {
+					p.Flush(q.head)
+					p.Fence()
+					h.alloc.Free(idxOf(hd))
+				}
+				h.complete()
+				return val, true
+			}
+		} else {
+			// Help the claimant: persist its return value under the
+			// claim's sequence number, then swing head past the node.
+			// A stale helper writes a stale sequence number, which
+			// recovery ignores — so duplicated help is harmless.
+			ct := claimTid(deq)
+			cl, _ := q.curLog(p, ct)
+			p.Flush(nxa + offDeq)
+			p.Fence()
+			if p.Read(cl+logSeq) == claimSeq(deq) && p.Read(cl+logDone) == 0 {
+				cra := q.retAddr(ct)
+				p.Write(cra+retVal, val)
+				p.Write(cra+retOK, 1)
+				p.Write(cra+retSeq, claimSeq(deq)) // guard last
+				p.Flush(cra)
+				p.Fence()
+			}
+			if p.CAS(q.head, hd, packPtr(idxOf(nx), tagOf(hd)+1)) {
+				p.Flush(q.head)
+				p.Fence()
+			}
+		}
+	}
+}
+
+// AnnouncePendingEnqueue prepares a node and persists an enqueue
+// announcement without linking it — the state a crash between announce
+// and link leaves behind. Recovery must then traverse the queue to
+// conclude the operation did not execute. Benchmark/test helper.
+func (h *Handle) AnnouncePendingEnqueue() {
+	p, q := h.port, h.q
+	n := h.alloc.Alloc()
+	na := q.arena.Addr(n)
+	p.Write(na+offVal, 0)
+	p.Write(na+offNext, packPtr(0, tagOf(p.Read(na+offNext))+1))
+	p.Write(na+offDeq, packReset(h.pid+1, h.seq+1))
+	p.Flush(na)
+	h.announce(OpEnq, n)
+}
+
+// RecoveredOp describes the outcome Recover determined.
+type RecoveredOp struct {
+	Op     uint64 // OpNone, OpEnq, OpDeq
+	Seq    uint64
+	Done   bool
+	Val    uint64 // dequeue value when Done && HasVal
+	HasVal bool
+	Empty  bool // dequeue observed empty
+}
+
+// Recover determines the fate of thread pid's interrupted operation
+// after a full-system crash: it reads the thread's log and, when the
+// log is inconclusive, traverses the queue from head looking for the
+// announced node or pending claim — the O(n) recovery the paper
+// contrasts with its own O(1) capsule reload. Must run quiesced
+// (before threads resume).
+func (q *Queue) Recover(port *pmem.Port, pid int) RecoveredOp {
+	la, _ := q.curLog(port, pid)
+	op := port.Read(la + logOp)
+	out := RecoveredOp{Op: op, Seq: port.Read(la + logSeq)}
+	if op == OpNone || port.Read(la+logDone) == 1 {
+		out.Done = true
+		return out
+	}
+	switch op {
+	case OpEnq:
+		node := uint32(port.Read(la + logNode))
+		if node == 0 {
+			return out
+		}
+		for i := idxOf(port.Read(q.head)); i != 0; i = idxOf(port.Read(q.arena.Addr(i) + offNext)) {
+			if i == node {
+				out.Done = true
+				return out
+			}
+		}
+		// Not reachable: either never linked, or already claimed by a
+		// dequeuer (a claim can only exist for a linked node).
+		if isClaimed(port.Read(q.arena.Addr(node) + offDeq)) {
+			out.Done = true
+		}
+	case OpDeq:
+		ra := q.retAddr(pid)
+		if port.Read(ra+retSeq) == out.Seq {
+			switch port.Read(ra + retOK) {
+			case 1:
+				out.Done, out.HasVal = true, true
+				out.Val = port.Read(ra + retVal)
+			case 2:
+				out.Done, out.Empty = true, true
+			}
+			return out
+		}
+		// No persisted return value: the claim itself may still have
+		// made it into the durable image. Only a claim carrying this
+		// exact (tid, seq) is the pending operation.
+		for i := idxOf(port.Read(q.head)); i != 0; i = idxOf(port.Read(q.arena.Addr(i) + offNext)) {
+			na := q.arena.Addr(i)
+			w := port.Read(na + offDeq)
+			if isClaimed(w) && claimTid(w) == pid && claimSeq(w) == out.Seq {
+				out.Done, out.HasVal = true, true
+				out.Val = port.Read(na + offVal)
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// Repair finishes partially completed dequeues after a full-system
+// crash: while the node after head is claimed, swing head past it.
+// Must run quiesced, once, before threads resume.
+func (q *Queue) Repair(port *pmem.Port) {
+	for {
+		hd := port.Read(q.head)
+		ha := q.arena.Addr(idxOf(hd))
+		nx := port.Read(ha + offNext)
+		if idxOf(nx) == 0 {
+			return
+		}
+		nxa := q.arena.Addr(idxOf(nx))
+		if !isClaimed(port.Read(nxa + offDeq)) {
+			return
+		}
+		port.CAS(q.head, hd, packPtr(idxOf(nx), tagOf(hd)+1))
+		port.Flush(q.head)
+		port.Fence()
+	}
+}
+
+// Len traverses the queue; test helper (counts unclaimed nodes past the
+// dummy).
+func (q *Queue) Len(port *pmem.Port) int {
+	n := 0
+	i := idxOf(port.Read(q.head))
+	for {
+		nx := idxOf(port.Read(q.arena.Addr(i) + offNext))
+		if nx == 0 {
+			return n
+		}
+		n++
+		i = nx
+	}
+}
+
+// Drain returns the values reachable from head; quiescent test helper.
+func (q *Queue) Drain(port *pmem.Port) []uint64 {
+	var out []uint64
+	i := idxOf(port.Read(q.head))
+	for {
+		nx := idxOf(port.Read(q.arena.Addr(i) + offNext))
+		if nx == 0 {
+			return out
+		}
+		out = append(out, port.Read(q.arena.Val(nx)))
+		i = nx
+	}
+}
+
+// Seed pre-fills the queue with n values from gen using arena nodes
+// [start, start+n); must run before concurrent use.
+func (q *Queue) Seed(port *pmem.Port, start, n uint32, gen func(i uint32) uint64) {
+	last := idxOf(port.Read(q.tail))
+	for i := uint32(0); i < n; i++ {
+		node := start + i
+		na := q.arena.Addr(node)
+		port.Write(na+offVal, gen(i))
+		port.Write(na+offNext, packPtr(0, 0))
+		port.Write(na+offDeq, packReset(0, uint64(i)+1))
+		port.Write(q.arena.Addr(last)+offNext, packPtr(node, tagOf(port.Read(q.arena.Addr(last)+offNext))+1))
+		last = node
+	}
+	t := port.Read(q.tail)
+	port.Write(q.tail, packPtr(last, tagOf(t)+1))
+	port.Flush(q.tail)
+	port.Fence()
+}

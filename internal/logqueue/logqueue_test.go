@@ -1,0 +1,360 @@
+package logqueue
+
+import (
+	"testing"
+
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+	"delayfree/internal/qnode"
+)
+
+func newQ(t testing.TB, P int, nodes uint32, mode pmem.Mode, seed int64) (*proc.Runtime, *qnode.Arena, *Queue) {
+	t.Helper()
+	mem := pmem.New(pmem.Config{
+		Words:   uint64(nodes+1024) * pmem.WordsPerLine * 2,
+		Mode:    mode,
+		Checked: true,
+		Seed:    seed,
+	})
+	rt := proc.NewRuntime(mem, P)
+	arena := qnode.NewArena(mem, nodes)
+	q := New(mem, rt.Proc(0).Mem(), arena, P, 1)
+	return rt, arena, q
+}
+
+func TestDeqWordPacking(t *testing.T) {
+	w := packClaim(13, 1<<40|77)
+	if !isClaimed(w) || claimTid(w) != 13 || claimSeq(w) != 1<<40|77 {
+		t.Fatalf("claim: %v %d %d", isClaimed(w), claimTid(w), claimSeq(w))
+	}
+	r := packReset(5, 99)
+	if isClaimed(r) {
+		t.Fatal("reset word reads as claimed")
+	}
+}
+
+func TestSequentialFIFO(t *testing.T) {
+	rt, arena, q := newQ(t, 1, 128, pmem.Private, 1)
+	lo, hi := arena.Range(0, 1, 1)
+	h := q.NewHandle(rt.Proc(0).Mem(), 0, lo, hi)
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := uint64(1); i <= 40; i++ {
+		h.Enqueue(i)
+	}
+	for i := uint64(1); i <= 40; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestRecyclingBounded(t *testing.T) {
+	rt, arena, q := newQ(t, 1, 8, pmem.Private, 1)
+	lo, hi := arena.Range(0, 1, 1)
+	h := q.NewHandle(rt.Proc(0).Mem(), 0, lo, hi)
+	for i := uint64(0); i < 5000; i++ {
+		h.Enqueue(i)
+		if v, ok := h.Dequeue(); !ok || v != i {
+			t.Fatalf("pair %d: (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestSeedAndLen(t *testing.T) {
+	rt, _, q := newQ(t, 1, 256, pmem.Private, 1)
+	port := rt.Proc(0).Mem()
+	q.Seed(port, 2, 100, func(i uint32) uint64 { return uint64(i) })
+	if got := q.Len(port); got != 100 {
+		t.Fatalf("len=%d", got)
+	}
+}
+
+func TestConcurrentPairsExactness(t *testing.T) {
+	const P, pairs = 4, 200
+	rt, arena, q := newQ(t, P, 8192, pmem.Private, 1)
+	results := make([][]uint64, P)
+	rt.RunToCompletion(func(i int) proc.Program {
+		return func(p *proc.Proc) {
+			lo, hi := arena.Range(i, P, 1)
+			h := q.NewHandle(p.Mem(), i, lo, hi)
+			for k := 0; k < pairs; k++ {
+				h.Enqueue(uint64(i)<<32 | uint64(k))
+				v, ok := h.Dequeue()
+				if !ok {
+					t.Errorf("proc %d: empty on pair %d", i, k)
+					return
+				}
+				results[i] = append(results[i], v)
+			}
+		}
+	})
+	seen := map[uint64]bool{}
+	for i := range results {
+		for _, v := range results[i] {
+			if seen[v] {
+				t.Fatalf("duplicate %x", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != P*pairs {
+		t.Fatalf("consumed %d of %d", len(seen), P*pairs)
+	}
+	if got := q.Len(rt.Proc(0).Mem()); got != 0 {
+		t.Fatalf("leftover %d", got)
+	}
+}
+
+func TestRecoverEnqueueStates(t *testing.T) {
+	rt, arena, q := newQ(t, 2, 64, pmem.Private, 1)
+	port := rt.Proc(0).Mem()
+	lo, hi := arena.Range(0, 2, 1)
+	h := q.NewHandle(port, 0, lo, hi)
+
+	// Announced but never linked: not done.
+	n := h.alloc.Alloc()
+	port.Write(arena.Addr(n)+offVal, 42)
+	port.Write(arena.Addr(n)+offNext, packPtr(0, 1))
+	port.Write(arena.Addr(n)+offDeq, packReset(1, 1))
+	h.announce(OpEnq, n)
+	if rec := q.Recover(port, 0); rec.Done || rec.Op != OpEnq {
+		t.Fatalf("unlinked enqueue reported done: %+v", rec)
+	}
+	// Linked: done.
+	dummyNext := arena.Addr(1) + offNext
+	nx := port.Read(dummyNext)
+	if !port.CAS(dummyNext, nx, packPtr(n, tagOf(nx)+1)) {
+		t.Fatal("link failed")
+	}
+	if rec := q.Recover(port, 0); !rec.Done {
+		t.Fatalf("linked enqueue not recovered: %+v", rec)
+	}
+	// Claimed by a dequeuer (even if unreachable): done.
+	h1 := q.NewHandle(rt.Proc(1).Mem(), 1, 0, 0)
+	_ = h1
+	port.CAS(arena.Addr(n)+offDeq, packReset(1, 1), packClaim(1, 7))
+	port.Write(q.head, packPtr(n, 99)) // simulate head swung past
+	if rec := q.Recover(port, 0); !rec.Done {
+		t.Fatalf("claimed enqueue not recovered: %+v", rec)
+	}
+}
+
+func TestRecoverDequeueViaClaim(t *testing.T) {
+	rt, arena, q := newQ(t, 2, 64, pmem.Private, 1)
+	port := rt.Proc(0).Mem()
+	q.Seed(port, 2, 3, func(i uint32) uint64 { return uint64(i) + 10 })
+	lo, hi := arena.Range(0, 2, 4)
+	h := q.NewHandle(port, 0, lo, hi)
+	// Announce a dequeue and claim manually, then "crash" before the
+	// return value is persisted.
+	h.announce(OpDeq, 0)
+	first := idxOf(port.Read(arena.Addr(idxOf(port.Read(q.head))) + offNext))
+	deq := port.Read(arena.Addr(first) + offDeq)
+	if !port.CAS(arena.Addr(first)+offDeq, deq, packClaim(0, h.seq)) {
+		t.Fatal("claim failed")
+	}
+	rec := q.Recover(port, 0)
+	if !rec.Done || !rec.HasVal || rec.Val != 10 {
+		t.Fatalf("claim-only dequeue not recovered: %+v", rec)
+	}
+	// Repair must swing head past the claimed node.
+	q.Repair(port)
+	if got := q.Len(port); got != 2 {
+		t.Fatalf("after repair len=%d, want 2", got)
+	}
+	// An *old* claim (stale seq) must not satisfy a newer pending op.
+	h.announce(OpDeq, 0)
+	rec = q.Recover(port, 0)
+	if rec.Done {
+		t.Fatalf("stale claim satisfied new op: %+v", rec)
+	}
+}
+
+func TestHelpingPersistsClaimantResult(t *testing.T) {
+	rt, arena, q := newQ(t, 2, 64, pmem.Private, 1)
+	p0 := rt.Proc(0).Mem()
+	p1 := rt.Proc(1).Mem()
+	q.Seed(p0, 2, 2, func(i uint32) uint64 { return uint64(i) + 100 })
+	lo1, hi1 := arena.Range(1, 2, 4)
+	h1 := q.NewHandle(p1, 1, lo1, hi1)
+	// Thread 1 announces and claims, then stalls (simulated crash).
+	h1.announce(OpDeq, 0)
+	first := idxOf(p1.Read(arena.Addr(idxOf(p1.Read(q.head))) + offNext))
+	deq := p1.Read(arena.Addr(first) + offDeq)
+	if !p1.CAS(arena.Addr(first)+offDeq, deq, packClaim(1, h1.seq)) {
+		t.Fatal("claim failed")
+	}
+	// Thread 0 dequeues; it must help thread 1 first.
+	lo0, hi0 := arena.Range(0, 2, 4)
+	h0 := q.NewHandle(p0, 0, lo0, hi0)
+	v, ok := h0.Dequeue()
+	if !ok || v != 101 {
+		t.Fatalf("helper dequeue got (%d,%v), want (101,true)", v, ok)
+	}
+	// The claimant's result must now be recoverable.
+	rec := q.Recover(p1, 1)
+	if !rec.Done || !rec.HasVal || rec.Val != 100 {
+		t.Fatalf("helped claim not recoverable: %+v", rec)
+	}
+}
+
+func TestRecoveryCostGrowsWithQueueLength(t *testing.T) {
+	// E6: LogQueue recovery is O(queue length). Pin the traversal.
+	for _, n := range []uint32{10, 1000} {
+		rt, arena, q := newQ(t, 1, n+64, pmem.Private, 1)
+		port := rt.Proc(0).Mem()
+		q.Seed(port, 2, n, func(i uint32) uint64 { return uint64(i) })
+		lo, hi := arena.Range(0, 1, n+2)
+		h := q.NewHandle(port, 0, lo, hi)
+		// Announce an enqueue that never links: recovery must traverse
+		// the whole queue to conclude "not done".
+		node := h.alloc.Alloc()
+		port.Write(arena.Addr(node)+offVal, 1)
+		port.Write(arena.Addr(node)+offNext, packPtr(0, 1))
+		port.Write(arena.Addr(node)+offDeq, packReset(1, 1))
+		h.announce(OpEnq, node)
+		before := port.Stats.Reads
+		rec := q.Recover(port, 0)
+		reads := port.Stats.Reads - before
+		if rec.Done {
+			t.Fatal("phantom completion")
+		}
+		if reads < uint64(n) {
+			t.Fatalf("queue length %d: recovery read only %d words — traversal missing", n, reads)
+		}
+	}
+}
+
+// TestCrashRecoveryPairsSweep runs the LogQueue the way an application
+// would under the paper's model: the *application* must track its own
+// progress across crashes (exactly the burden the paper's capsule
+// transformations remove). Progress lives on one cache line written in
+// same-line order; detectability comes from Recover.
+func TestCrashRecoveryPairsSweep(t *testing.T) {
+	const pairs = 4
+	run := func(crashAt int64, seed int64) (sum uint64, done uint64, steps int64) {
+		rt, arena, q := newQ(t, 1, 4096, pmem.Shared, seed)
+		rt.SystemCrashMode = true
+		mem := rt.Mem()
+		setup := rt.Proc(0).Mem()
+		// Progress record: two ping-pong lines, each [pairs, sum,
+		// lastDeqSeq, epoch] with the epoch written last. A partially
+		// persisted commit shows the old epoch, so recovery always
+		// reads a consistent snapshot — this hand-rolled two-line
+		// protocol is exactly what the paper's capsule boundaries
+		// automate, and what a bare progress line gets wrong (a crash
+		// can persist the counters without the dedup sequence number).
+		prog := mem.AllocLines(2)
+		setup.FlushFence(prog)
+		setup.FlushFence(prog + pmem.WordsPerLine)
+		if crashAt > 0 {
+			rt.Proc(0).ArmCrashAfter(crashAt)
+		}
+		rt.RunToCompletion(func(_ int) proc.Program {
+			return func(p *proc.Proc) {
+				port := p.Mem()
+				p.Crashed()
+				rec := q.Recover(port, 0)
+				q.Repair(port)
+				// Fresh allocation range per incarnation: the volatile
+				// free state is lost, and live nodes must not be
+				// reissued.
+				r := p.Restarts()
+				lo, hi := arena.Range(0, 1, 1)
+				chunk := (hi - lo) / 16
+				lo = lo + uint32(r)*chunk
+				h := q.NewHandle(port, 0, lo, lo+chunk)
+				h.seq = rec.Seq
+
+				line := func(e uint64) pmem.Addr {
+					return prog + pmem.Addr(e%2)*pmem.WordsPerLine
+				}
+				eA := port.Read(prog + 3)
+				eB := port.Read(prog + pmem.WordsPerLine + 3)
+				epoch := max(eA, eB)
+				cur := line(epoch)
+				d := port.Read(cur + 0)
+				s := port.Read(cur + 1)
+				lastDeq := port.Read(cur + 2)
+
+				commit := func(val uint64, seq uint64) {
+					d++
+					s += val
+					lastDeq = seq
+					epoch++
+					ln := line(epoch)
+					port.Write(ln+0, d)
+					port.Write(ln+1, s)
+					port.Write(ln+2, seq)
+					port.Write(ln+3, epoch) // last: same-line ordering commits
+					port.Flush(ln)
+					port.Fence()
+				}
+
+				// Resolve the interrupted operation, if any.
+				switch {
+				case rec.Op == OpDeq && rec.Done && rec.HasVal:
+					if lastDeq != rec.Seq {
+						commit(rec.Val, rec.Seq)
+					}
+				case rec.Op == OpDeq && !rec.Done:
+					v, ok := h.Dequeue()
+					if !ok {
+						t.Errorf("re-executed dequeue found empty")
+						return
+					}
+					commit(v, h.seq)
+				case rec.Op == OpEnq && rec.Done:
+					// Enqueue of pair d done; finish the pair.
+					v, ok := h.Dequeue()
+					if !ok {
+						t.Errorf("dequeue after recovered enqueue found empty")
+						return
+					}
+					commit(v, h.seq)
+				case rec.Op == OpEnq && !rec.Done:
+					h.Enqueue(100 + d)
+					v, ok := h.Dequeue()
+					if !ok {
+						t.Errorf("dequeue found empty")
+						return
+					}
+					commit(v, h.seq)
+				}
+				for d < pairs {
+					h.Enqueue(100 + d)
+					v, ok := h.Dequeue()
+					if !ok {
+						t.Errorf("pair %d: empty", d)
+						return
+					}
+					commit(v, h.seq)
+				}
+			}
+		})
+		port := rt.Proc(0).Mem()
+		rt.Proc(0).Disarm()
+		eA := port.Read(prog + 3)
+		eB := port.Read(prog + pmem.WordsPerLine + 3)
+		fin := prog
+		if eB > eA {
+			fin = prog + pmem.WordsPerLine
+		}
+		return port.Read(fin + 1), port.Read(fin + 0), int64(port.Stats.Steps)
+	}
+
+	wantSum := uint64(0)
+	for k := 0; k < pairs; k++ {
+		wantSum += 100 + uint64(k)
+	}
+	_, _, total := run(0, 1)
+	for k := int64(1); k <= total; k++ {
+		sum, done, _ := run(k, k)
+		if done != pairs || sum != wantSum {
+			t.Fatalf("crash@%d: pairs=%d sum=%d, want %d/%d", k, done, sum, pairs, wantSum)
+		}
+	}
+}

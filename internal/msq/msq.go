@@ -1,0 +1,157 @@
+// Package msq implements the lock-free queue of Michael and Scott
+// (PODC 1996) on the simulated memory substrate, with counted (tagged)
+// pointers and per-process node recycling.
+//
+// This is the *original, non-persistent* queue the paper transforms: it
+// is the baseline of Figure 7 ("original MSQ"), and — run with the
+// Izraelevitz construction (flush after every shared access, enabled
+// via pmem.Port.Auto) — it is the "Izraelevitz queue" upper bound of
+// Figure 5.
+//
+// Pointers are packed as ⟨index:32 | tag:32⟩; every CAS bumps the tag,
+// which makes immediate node reuse safe (the classic counted-pointer
+// ABA defence from the original paper).
+package msq
+
+import (
+	"delayfree/internal/pmem"
+	"delayfree/internal/qnode"
+)
+
+// packPtr builds a tagged pointer.
+func packPtr(idx, tag uint32) uint64 { return uint64(idx) | uint64(tag)<<32 }
+
+// idxOf extracts the node index of a tagged pointer.
+func idxOf(p uint64) uint32 { return uint32(p) }
+
+// tagOf extracts the tag of a tagged pointer.
+func tagOf(p uint64) uint32 { return uint32(p >> 32) }
+
+// Queue is a Michael–Scott queue over an arena. head and tail each
+// occupy their own cache line.
+type Queue struct {
+	arena *qnode.Arena
+	head  pmem.Addr
+	tail  pmem.Addr
+}
+
+// New creates an empty queue whose dummy node is dummyIdx (an arena
+// index reserved by the caller, conventionally 1). The initializing
+// port's writes are flushed so the structure is durable before use.
+func New(mem *pmem.Memory, port *pmem.Port, arena *qnode.Arena, dummyIdx uint32) *Queue {
+	q := &Queue{arena: arena}
+	q.head = mem.AllocLines(1)
+	q.tail = mem.AllocLines(1)
+	port.Write(arena.Next(dummyIdx), packPtr(0, 0))
+	port.Write(q.head, packPtr(dummyIdx, 0))
+	port.Write(q.tail, packPtr(dummyIdx, 0))
+	port.Flush(arena.Next(dummyIdx))
+	port.Flush(q.head)
+	port.Flush(q.tail)
+	port.Fence()
+	return q
+}
+
+// Handle is one process's access to the queue, carrying its allocator.
+// Handles are not safe for concurrent use; create one per process.
+type Handle struct {
+	q     *Queue
+	port  *pmem.Port
+	alloc *qnode.VolatileAlloc
+}
+
+// NewHandle creates a per-process handle allocating from [lo, hi).
+func (q *Queue) NewHandle(port *pmem.Port, lo, hi uint32) *Handle {
+	return &Handle{q: q, port: port, alloc: qnode.NewVolatileAlloc(q.arena, lo, hi)}
+}
+
+// Enqueue appends v.
+func (h *Handle) Enqueue(v uint64) {
+	q, p := h.q, h.port
+	n := h.alloc.Alloc()
+	p.Write(q.arena.Val(n), v)
+	p.Write(q.arena.Next(n), packPtr(0, tagOf(p.Read(q.arena.Next(n)))+1))
+	for {
+		t := p.Read(q.tail)
+		nx := p.Read(q.arena.Next(idxOf(t)))
+		if t != p.Read(q.tail) {
+			continue
+		}
+		if idxOf(nx) == 0 {
+			if p.CAS(q.arena.Next(idxOf(t)), nx, packPtr(n, tagOf(nx)+1)) {
+				p.CAS(q.tail, t, packPtr(n, tagOf(t)+1))
+				return
+			}
+		} else {
+			p.CAS(q.tail, t, packPtr(idxOf(nx), tagOf(t)+1))
+		}
+	}
+}
+
+// Dequeue removes and returns the head value; ok is false if the queue
+// was observed empty.
+func (h *Handle) Dequeue() (v uint64, ok bool) {
+	q, p := h.q, h.port
+	for {
+		hd := p.Read(q.head)
+		t := p.Read(q.tail)
+		nx := p.Read(q.arena.Next(idxOf(hd)))
+		if hd != p.Read(q.head) {
+			continue
+		}
+		if idxOf(hd) == idxOf(t) {
+			if idxOf(nx) == 0 {
+				return 0, false
+			}
+			p.CAS(q.tail, t, packPtr(idxOf(nx), tagOf(t)+1))
+			continue
+		}
+		v = p.Read(q.arena.Val(idxOf(nx)))
+		if p.CAS(q.head, hd, packPtr(idxOf(nx), tagOf(hd)+1)) {
+			h.alloc.Free(idxOf(hd))
+			return v, true
+		}
+	}
+}
+
+// Seed pre-fills the queue with n values produced by gen, using nodes
+// [start, start+n) of the arena; used by the benchmark harness to
+// reproduce the paper's 1M-node initial queue. Must run before
+// concurrent use.
+func (q *Queue) Seed(port *pmem.Port, start, n uint32, gen func(i uint32) uint64) {
+	last := idxOf(port.Read(q.tail))
+	for i := uint32(0); i < n; i++ {
+		node := start + i
+		port.Write(q.arena.Val(node), gen(i))
+		port.Write(q.arena.Next(node), packPtr(0, 0))
+		port.Write(q.arena.Next(last), packPtr(node, tagOf(port.Read(q.arena.Next(last)))+1))
+		last = node
+	}
+	t := port.Read(q.tail)
+	port.Write(q.tail, packPtr(last, tagOf(t)+1))
+	port.Flush(q.tail)
+	port.Fence()
+}
+
+// Len counts the queue's nodes by traversal; for tests and recovery
+// inspection only (not linearizable under concurrency).
+func (q *Queue) Len(port *pmem.Port) int {
+	n := 0
+	for i := idxOf(port.Read(q.arena.Next(idxOf(port.Read(q.head))))); i != 0; {
+		n++
+		i = idxOf(port.Read(q.arena.Next(i)))
+	}
+	return n
+}
+
+// Drain dequeues everything via h, returning the values; test helper.
+func (h *Handle) Drain() []uint64 {
+	var out []uint64
+	for {
+		v, ok := h.Dequeue()
+		if !ok {
+			return out
+		}
+		out = append(out, v)
+	}
+}

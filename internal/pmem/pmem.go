@@ -1,0 +1,385 @@
+// Package pmem simulates the persistent memory of the Parallel Persistent
+// Memory (PPM) model from Ben-David et al., "Delay-Free Concurrency on
+// Faulty Persistent Memory" (SPAA 2019).
+//
+// Go cannot issue cache-line flush instructions (clflushopt/sfence) nor
+// control what the garbage collector and runtime keep in caches, so the
+// persistent memory of the paper is simulated: a word-addressable array
+// with an explicit cache-line model. The simulation supports the two
+// memory models used by the paper:
+//
+//   - Private (PPM) model: every Read/Write/CAS to persistent memory is
+//     immediately durable. Flush and Fence are counted no-ops. Crashes
+//     lose only process-private volatile state (Go locals).
+//   - Shared (cache) model: writes land in a simulated volatile cache and
+//     become durable only after Flush(addr) of their cache line followed
+//     by Fence() (matching clflushopt+sfence semantics), or when the line
+//     is "evicted". On a full-system crash, each dirty line retains a
+//     random *prefix* of the writes issued to it since it was last
+//     persisted, which models the TSO same-cache-line ordering property
+//     the paper relies on in Section 9.
+//
+// Two operating modes trade fidelity for speed:
+//
+//   - Checked mode keeps a shadow persisted image and per-line write
+//     logs so crashes can be materialized. Used by tests.
+//   - Fast mode keeps no shadow state; Flush/Fence only update counters
+//     and optionally spin for a calibrated latency so that benchmark
+//     throughput reflects persistence work, as on real NVM. Used by
+//     benchmarks. Crashes are not supported in fast mode.
+//
+// All word accesses go through sync/atomic, so the simulator is safe
+// under the race detector. Each process accesses memory through its own
+// Port, which carries per-process statistics and the crash-injection
+// hook, avoiding cross-process contention on bookkeeping.
+package pmem
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Addr is a word address in persistent memory.
+type Addr = uint64
+
+const (
+	// WordsPerLine is the number of 64-bit words per simulated cache
+	// line (64-byte lines, as on x86).
+	WordsPerLine = 8
+	// LineShift converts a word address to a line index.
+	LineShift = 3
+	// LineMask masks the within-line word offset.
+	LineMask = WordsPerLine - 1
+)
+
+// Mode selects which of the paper's two memory models is simulated.
+type Mode int
+
+const (
+	// Private is the PPM model: persistent memory writes are
+	// immediately durable; only process-private state is lost on a
+	// crash.
+	Private Mode = iota
+	// Shared is the shared-cache model: writes are volatile until the
+	// line is flushed and fenced (or evicted).
+	Shared
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Private:
+		return "private"
+	case Shared:
+		return "shared"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config configures a Memory.
+type Config struct {
+	// Words is the capacity in 64-bit words.
+	Words uint64
+	// Mode selects the private (PPM) or shared (cache) model.
+	Mode Mode
+	// Checked enables the shadow persisted image and per-line write
+	// logs needed to materialize crashes. Required for crash testing;
+	// adds a per-write line lock.
+	Checked bool
+	// FlushDelay is the number of spin iterations charged per Flush in
+	// fast mode, modeling NVM write-back latency. Zero means count
+	// only.
+	FlushDelay int
+	// FenceDelay is the number of spin iterations charged per Fence in
+	// fast mode, modeling sfence drain latency. Zero means count only.
+	FenceDelay int
+	// Seed seeds the crash-materialization RNG (checked mode).
+	Seed int64
+}
+
+// writeRec is one logged write to a cache line since it was last
+// persisted (checked shared mode only).
+type writeRec struct {
+	off uint8 // word offset within the line
+	val uint64
+}
+
+// line is the per-cache-line tracking state (checked mode only).
+type line struct {
+	mu  sync.Mutex
+	log []writeRec
+}
+
+// Memory is a simulated persistent memory.
+//
+// Construct one with New. Access it through per-process Ports (NewPort).
+// The zero value is not usable.
+type Memory struct {
+	cfg   Config
+	words []uint64 // current (cache-visible) contents; atomic access
+
+	// Checked-mode shadow state.
+	persisted []uint64 // durable image
+	lines     []line
+
+	crashMu sync.Mutex // serializes crash materialization
+	rng     *rand.Rand // guarded by crashMu
+
+	next atomic.Uint64 // allocation bump pointer (in words)
+
+	// delaySink defeats dead-code elimination of the latency spin.
+	delaySink atomic.Uint64
+}
+
+// New creates a Memory with the given configuration.
+func New(cfg Config) *Memory {
+	if cfg.Words == 0 {
+		cfg.Words = 1 << 20
+	}
+	// Round capacity to whole lines.
+	cfg.Words = (cfg.Words + LineMask) &^ uint64(LineMask)
+	m := &Memory{
+		cfg:   cfg,
+		words: make([]uint64, cfg.Words),
+	}
+	if cfg.Checked {
+		m.persisted = make([]uint64, cfg.Words)
+		m.lines = make([]line, cfg.Words/WordsPerLine)
+		m.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	// Reserve line 0 so that address 0 can serve as a null pointer.
+	m.next.Store(WordsPerLine)
+	return m
+}
+
+// Config returns the configuration the memory was created with.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Words returns the capacity in words.
+func (m *Memory) Words() uint64 { return m.cfg.Words }
+
+// Alloc reserves n words of persistent memory and returns the address of
+// the first. Alloc is safe for concurrent use. It panics if the memory is
+// exhausted; simulation capacity is fixed at construction.
+func (m *Memory) Alloc(n uint64) Addr {
+	a := m.next.Add(n) - n
+	if a+n > m.cfg.Words {
+		panic(fmt.Sprintf("pmem: out of memory: want %d words at %d, capacity %d", n, a, m.cfg.Words))
+	}
+	return a
+}
+
+// AllocLines reserves n whole cache lines, returning a line-aligned
+// address. Placing unrelated hot words on distinct lines mirrors the
+// padding a C implementation of the paper would use and keeps flush
+// accounting meaningful.
+func (m *Memory) AllocLines(n uint64) Addr {
+	for {
+		cur := m.next.Load()
+		aligned := (cur + LineMask) &^ uint64(LineMask)
+		want := aligned + n*WordsPerLine
+		if want > m.cfg.Words {
+			panic(fmt.Sprintf("pmem: out of memory: want %d lines, capacity %d words", n, m.cfg.Words))
+		}
+		if m.next.CompareAndSwap(cur, want) {
+			return aligned
+		}
+	}
+}
+
+// lineOf returns the line index of a word address.
+func lineOf(a Addr) uint64 { return a >> LineShift }
+
+// LineOf returns the cache-line index containing address a. Exposed for
+// tests and for code that reasons about line sharing (Section 9).
+func LineOf(a Addr) uint64 { return lineOf(a) }
+
+// SameLine reports whether two addresses share a cache line.
+func SameLine(a, b Addr) bool { return lineOf(a) == lineOf(b) }
+
+// load reads the current (cache-visible) value of a word.
+func (m *Memory) load(a Addr) uint64 {
+	return atomic.LoadUint64(&m.words[a])
+}
+
+// store writes a word into the cache-visible image, logging it in
+// checked shared mode so a crash can replay a prefix.
+func (m *Memory) store(a Addr, v uint64) {
+	switch {
+	case !m.cfg.Checked:
+		atomic.StoreUint64(&m.words[a], v)
+	case m.cfg.Mode == Private:
+		// Private model: immediately durable.
+		ln := &m.lines[lineOf(a)]
+		ln.mu.Lock()
+		atomic.StoreUint64(&m.words[a], v)
+		atomic.StoreUint64(&m.persisted[a], v)
+		ln.mu.Unlock()
+	default:
+		ln := &m.lines[lineOf(a)]
+		ln.mu.Lock()
+		atomic.StoreUint64(&m.words[a], v)
+		ln.log = append(ln.log, writeRec{off: uint8(a & LineMask), val: v})
+		ln.mu.Unlock()
+	}
+}
+
+// cas performs a compare-and-swap on a word, with the same durability
+// treatment as store.
+func (m *Memory) cas(a Addr, old, new uint64) bool {
+	switch {
+	case !m.cfg.Checked:
+		return atomic.CompareAndSwapUint64(&m.words[a], old, new)
+	case m.cfg.Mode == Private:
+		ln := &m.lines[lineOf(a)]
+		ln.mu.Lock()
+		ok := atomic.CompareAndSwapUint64(&m.words[a], old, new)
+		if ok {
+			atomic.StoreUint64(&m.persisted[a], new)
+		}
+		ln.mu.Unlock()
+		return ok
+	default:
+		ln := &m.lines[lineOf(a)]
+		ln.mu.Lock()
+		ok := atomic.CompareAndSwapUint64(&m.words[a], old, new)
+		if ok {
+			ln.log = append(ln.log, writeRec{off: uint8(a & LineMask), val: new})
+		}
+		ln.mu.Unlock()
+		return ok
+	}
+}
+
+// flushLine persists the current contents of the line containing a.
+// In checked shared mode this copies the cache-visible words of the line
+// into the durable image and clears the line's write log. The paper's
+// flush (clflushopt) only takes effect at the next fence; the Port layer
+// models that by deferring flushLine calls until Fence.
+func (m *Memory) flushLine(li uint64) {
+	if !m.cfg.Checked || m.cfg.Mode == Private {
+		return
+	}
+	ln := &m.lines[li]
+	ln.mu.Lock()
+	base := li * WordsPerLine
+	for off := uint64(0); off < WordsPerLine; off++ {
+		atomic.StoreUint64(&m.persisted[base+off], atomic.LoadUint64(&m.words[base+off]))
+	}
+	ln.log = ln.log[:0]
+	ln.mu.Unlock()
+}
+
+// delay spins for approximately n iterations; used to charge simulated
+// flush/fence latency in fast mode.
+func (m *Memory) delay(n int) {
+	if n <= 0 {
+		return
+	}
+	var s uint64
+	for i := 0; i < n; i++ {
+		s += uint64(i) ^ s<<1
+	}
+	m.delaySink.Store(s)
+}
+
+// Crash materializes a full-system crash (shared checked mode): every
+// line with unpersisted writes retains a uniformly random prefix of them
+// (per line, independently), modeling arbitrary eviction timing under
+// same-line TSO ordering; everything else reverts to the durable image.
+// The cache-visible image then becomes the durable image, as the caches
+// are lost. Callers must ensure no Port is concurrently accessing the
+// memory (the proc runtime stops all processes first).
+//
+// In private mode Crash is a no-op on memory contents: persistent memory
+// is unaffected by crashes in the PPM model.
+func (m *Memory) Crash() {
+	if !m.cfg.Checked {
+		panic("pmem: Crash requires Checked mode")
+	}
+	if m.cfg.Mode == Private {
+		return
+	}
+	m.crashMu.Lock()
+	defer m.crashMu.Unlock()
+	for li := range m.lines {
+		ln := &m.lines[li]
+		ln.mu.Lock()
+		if len(ln.log) > 0 {
+			k := m.rng.Intn(len(ln.log) + 1)
+			base := uint64(li) * WordsPerLine
+			for _, w := range ln.log[:k] {
+				atomic.StoreUint64(&m.persisted[base+uint64(w.off)], w.val)
+			}
+			ln.log = ln.log[:0]
+		}
+		// The volatile cache is lost: visible state = durable state.
+		base := uint64(li) * WordsPerLine
+		for off := uint64(0); off < WordsPerLine; off++ {
+			atomic.StoreUint64(&m.words[base+off], atomic.LoadUint64(&m.persisted[base+off]))
+		}
+		ln.mu.Unlock()
+	}
+}
+
+// CrashLossy is like Crash but uses evictAll to force every pending
+// write durable (evictAll=true, the "friendly" crash where all dirty
+// lines were evicted) — useful to test recovery paths deterministically.
+func (m *Memory) CrashLossy(evictAll bool) {
+	if !m.cfg.Checked {
+		panic("pmem: CrashLossy requires Checked mode")
+	}
+	if m.cfg.Mode == Private {
+		return
+	}
+	m.crashMu.Lock()
+	defer m.crashMu.Unlock()
+	for li := range m.lines {
+		ln := &m.lines[li]
+		ln.mu.Lock()
+		base := uint64(li) * WordsPerLine
+		if evictAll {
+			for _, w := range ln.log {
+				atomic.StoreUint64(&m.persisted[base+uint64(w.off)], w.val)
+			}
+		}
+		ln.log = ln.log[:0]
+		for off := uint64(0); off < WordsPerLine; off++ {
+			atomic.StoreUint64(&m.words[base+off], atomic.LoadUint64(&m.persisted[base+off]))
+		}
+		ln.mu.Unlock()
+	}
+}
+
+// PersistedWord returns the durable image of a word (checked mode). In
+// private checked mode the durable image always equals the visible image.
+func (m *Memory) PersistedWord(a Addr) uint64 {
+	if !m.cfg.Checked {
+		panic("pmem: PersistedWord requires Checked mode")
+	}
+	return atomic.LoadUint64(&m.persisted[a])
+}
+
+// VisibleWord returns the current cache-visible value of a word without
+// charging statistics; intended for test assertions and debuggers.
+func (m *Memory) VisibleWord(a Addr) uint64 { return m.load(a) }
+
+// DirtyLines returns the number of lines with unpersisted writes
+// (checked shared mode); useful in tests asserting flush placement.
+func (m *Memory) DirtyLines() int {
+	if !m.cfg.Checked || m.cfg.Mode == Private {
+		return 0
+	}
+	n := 0
+	for li := range m.lines {
+		ln := &m.lines[li]
+		ln.mu.Lock()
+		if len(ln.log) > 0 {
+			n++
+		}
+		ln.mu.Unlock()
+	}
+	return n
+}

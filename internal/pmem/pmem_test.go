@@ -1,0 +1,362 @@
+package pmem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newShared(t *testing.T, words uint64) *Memory {
+	t.Helper()
+	return New(Config{Words: words, Mode: Shared, Checked: true, Seed: 1})
+}
+
+func newPrivate(t *testing.T, words uint64) *Memory {
+	t.Helper()
+	return New(Config{Words: words, Mode: Private, Checked: true, Seed: 1})
+}
+
+func TestLineMath(t *testing.T) {
+	if LineOf(0) != 0 || LineOf(7) != 0 || LineOf(8) != 1 {
+		t.Fatalf("line math wrong: %d %d %d", LineOf(0), LineOf(7), LineOf(8))
+	}
+	if !SameLine(8, 15) || SameLine(7, 8) {
+		t.Fatal("SameLine wrong")
+	}
+}
+
+func TestAllocAlignment(t *testing.T) {
+	m := New(Config{Words: 1 << 12})
+	a := m.Alloc(3)
+	b := m.AllocLines(2)
+	if b%WordsPerLine != 0 {
+		t.Fatalf("AllocLines not aligned: %d", b)
+	}
+	if b < a+3 {
+		t.Fatalf("overlapping allocations: %d %d", a, b)
+	}
+	c := m.AllocLines(1)
+	if c != b+2*WordsPerLine {
+		t.Fatalf("expected %d, got %d", b+2*WordsPerLine, c)
+	}
+}
+
+func TestAllocReservesNullLine(t *testing.T) {
+	m := New(Config{Words: 1 << 10})
+	if a := m.Alloc(1); a < WordsPerLine {
+		t.Fatalf("first allocation %d overlaps the reserved null line", a)
+	}
+}
+
+func TestAllocExhaustionPanics(t *testing.T) {
+	m := New(Config{Words: 64})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on exhaustion")
+		}
+	}()
+	m.Alloc(1 << 20)
+}
+
+func TestFastReadWriteCAS(t *testing.T) {
+	m := New(Config{Words: 1 << 10})
+	p := m.NewPort()
+	a := m.Alloc(4)
+	p.Write(a, 42)
+	if got := p.Read(a); got != 42 {
+		t.Fatalf("Read=%d", got)
+	}
+	if !p.CAS(a, 42, 43) {
+		t.Fatal("CAS should succeed")
+	}
+	if p.CAS(a, 42, 44) {
+		t.Fatal("CAS should fail")
+	}
+	if got := p.Read(a); got != 43 {
+		t.Fatalf("Read=%d", got)
+	}
+	if p.Stats.Reads != 2 || p.Stats.Writes != 1 || p.Stats.CASes != 2 {
+		t.Fatalf("stats wrong: %+v", p.Stats)
+	}
+}
+
+func TestPrivateModeImmediatelyDurable(t *testing.T) {
+	m := newPrivate(t, 1<<10)
+	p := m.NewPort()
+	a := m.Alloc(1)
+	p.Write(a, 7)
+	if got := m.PersistedWord(a); got != 7 {
+		t.Fatalf("private write not durable: %d", got)
+	}
+	p.CAS(a, 7, 8)
+	if got := m.PersistedWord(a); got != 8 {
+		t.Fatalf("private CAS not durable: %d", got)
+	}
+	m.Crash() // no-op in private mode
+	if got := m.VisibleWord(a); got != 8 {
+		t.Fatalf("private crash changed memory: %d", got)
+	}
+}
+
+func TestSharedWriteNeedsFlushFence(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	p.Write(a, 5)
+	if got := m.PersistedWord(a); got != 0 {
+		t.Fatalf("unflushed write already durable: %d", got)
+	}
+	p.Flush(a)
+	if got := m.PersistedWord(a); got != 0 {
+		t.Fatalf("flush without fence already durable: %d", got)
+	}
+	p.Fence()
+	if got := m.PersistedWord(a); got != 5 {
+		t.Fatalf("flush+fence not durable: %d", got)
+	}
+}
+
+func TestSharedUnfencedFlushLostOnCrash(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	p.Write(a, 5)
+	p.Flush(a)
+	p.DropPending() // simulates the process crashing before its fence
+	m.CrashLossy(false)
+	if got := m.VisibleWord(a); got != 0 {
+		t.Fatalf("unfenced flush survived a lossy crash: %d", got)
+	}
+}
+
+func TestCASDrainsPendingFlushes(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	p.Write(a, 5)
+	p.Flush(a)
+	// The fence is elided before a CAS (Section 10 optimization); the
+	// locked instruction completes the flush.
+	p.CAS(b, 0, 1)
+	if got := m.PersistedWord(a); got != 5 {
+		t.Fatalf("CAS did not complete pending flush: %d", got)
+	}
+}
+
+func TestCrashKeepsPrefixPerLine(t *testing.T) {
+	// Write an ascending sequence into one line; after a crash the
+	// persisted contents must be a prefix of the writes.
+	for seed := int64(0); seed < 30; seed++ {
+		m := New(Config{Words: 1 << 10, Mode: Shared, Checked: true, Seed: seed})
+		p := m.NewPort()
+		a := m.AllocLines(1)
+		const n = 6
+		for i := uint64(0); i < n; i++ {
+			p.Write(a+Addr(i), i+1)
+		}
+		m.Crash()
+		// Find the persisted prefix length.
+		k := uint64(0)
+		for k < n && m.PersistedWord(a+Addr(k)) == k+1 {
+			k++
+		}
+		for i := k; i < n; i++ {
+			if got := m.PersistedWord(a + Addr(i)); got != 0 {
+				t.Fatalf("seed %d: non-prefix persistence: word %d = %d with prefix %d", seed, i, got, k)
+			}
+		}
+		// After the crash, visible state equals persisted state.
+		for i := uint64(0); i < n; i++ {
+			if m.VisibleWord(a+Addr(i)) != m.PersistedWord(a+Addr(i)) {
+				t.Fatalf("seed %d: cache not dropped at word %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestCrashIndependentAcrossLines(t *testing.T) {
+	// With many seeds, two dirty lines must not always lose or keep
+	// data together.
+	var bothKept, bothLost, mixed bool
+	for seed := int64(0); seed < 64; seed++ {
+		m := New(Config{Words: 1 << 10, Mode: Shared, Checked: true, Seed: seed})
+		p := m.NewPort()
+		a := m.AllocLines(1)
+		b := m.AllocLines(1)
+		p.Write(a, 1)
+		p.Write(b, 1)
+		m.Crash()
+		ka := m.PersistedWord(a) == 1
+		kb := m.PersistedWord(b) == 1
+		switch {
+		case ka && kb:
+			bothKept = true
+		case !ka && !kb:
+			bothLost = true
+		default:
+			mixed = true
+		}
+	}
+	if !bothKept || !bothLost || !mixed {
+		t.Fatalf("crash outcomes not diverse: kept=%v lost=%v mixed=%v", bothKept, bothLost, mixed)
+	}
+}
+
+func TestCrashLossyEvictAll(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	p.Write(a, 9)
+	m.CrashLossy(true)
+	if got := m.VisibleWord(a); got != 9 {
+		t.Fatalf("evict-all crash lost data: %d", got)
+	}
+}
+
+func TestAutoModePersistsEveryAccess(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	p.Auto = true
+	a := m.AllocLines(1)
+	p.Write(a, 3)
+	if got := m.PersistedWord(a); got != 3 {
+		t.Fatalf("auto write not durable: %d", got)
+	}
+	p.CAS(a, 3, 4)
+	if got := m.PersistedWord(a); got != 4 {
+		t.Fatalf("auto CAS not durable: %d", got)
+	}
+	if p.Stats.Flushes != 2 || p.Stats.Fences != 2 {
+		t.Fatalf("auto mode should count flush/fence per access: %+v", p.Stats)
+	}
+}
+
+func TestDirtyLines(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	if n := m.DirtyLines(); n != 0 {
+		t.Fatalf("fresh memory dirty: %d", n)
+	}
+	p.Write(a, 1)
+	p.Write(b, 1)
+	if n := m.DirtyLines(); n != 2 {
+		t.Fatalf("want 2 dirty lines, got %d", n)
+	}
+	p.FlushFence(a)
+	if n := m.DirtyLines(); n != 1 {
+		t.Fatalf("want 1 dirty line, got %d", n)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Reads: 1, Writes: 2, CASes: 3, Flushes: 4, Fences: 5, Boundaries: 6, Steps: 7}
+	b := a
+	a.Add(b)
+	if a.Reads != 2 || a.Writes != 4 || a.CASes != 6 || a.Flushes != 8 || a.Fences != 10 || a.Boundaries != 12 || a.Steps != 14 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestFlushDelayCharged(t *testing.T) {
+	m := New(Config{Words: 1 << 8, FlushDelay: 10, FenceDelay: 10})
+	p := m.NewPort()
+	a := m.Alloc(1)
+	p.Flush(a)
+	p.Fence()
+	// Just exercising the spin path; nothing observable beyond no hang.
+	if p.Stats.Flushes != 1 || p.Stats.Fences != 1 {
+		t.Fatalf("stats: %+v", p.Stats)
+	}
+}
+
+// Property: in checked shared mode, flush+fence always makes the latest
+// write durable, and a subsequent crash preserves it.
+func TestQuickFlushedWritesSurviveCrash(t *testing.T) {
+	f := func(vals []uint64, seed int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		if len(vals) > 64 {
+			vals = vals[:64]
+		}
+		m := New(Config{Words: 1 << 12, Mode: Shared, Checked: true, Seed: seed})
+		p := m.NewPort()
+		base := m.AllocLines(uint64(len(vals)))
+		for i, v := range vals {
+			a := base + Addr(i)*WordsPerLine
+			p.Write(a, v)
+			p.Flush(a)
+			p.Fence()
+		}
+		m.Crash()
+		for i, v := range vals {
+			if m.PersistedWord(base+Addr(i)*WordsPerLine) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a crash never invents values — every persisted word was
+// written at some point (or is zero).
+func TestQuickCrashNeverInvents(t *testing.T) {
+	f := func(writes []uint16, seed int64) bool {
+		m := New(Config{Words: 1 << 10, Mode: Shared, Checked: true, Seed: seed})
+		p := m.NewPort()
+		a := m.AllocLines(1)
+		written := map[uint64]bool{0: true}
+		for _, w := range writes {
+			v := uint64(w)
+			p.Write(a+Addr(v%WordsPerLine), v)
+			written[v] = true
+		}
+		m.Crash()
+		for i := uint64(0); i < WordsPerLine; i++ {
+			if !written[m.PersistedWord(a+Addr(i))] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPortWrite(b *testing.B) {
+	m := New(Config{Words: 1 << 10})
+	p := m.NewPort()
+	a := m.Alloc(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Write(a, uint64(i))
+	}
+}
+
+func BenchmarkPortCAS(b *testing.B) {
+	m := New(Config{Words: 1 << 10})
+	p := m.NewPort()
+	a := m.Alloc(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.CAS(a, uint64(i), uint64(i+1))
+	}
+}
+
+func BenchmarkFlushFence(b *testing.B) {
+	m := New(Config{Words: 1 << 10, FlushDelay: 60, FenceDelay: 30})
+	p := m.NewPort()
+	a := m.Alloc(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Write(a, uint64(i))
+		p.Flush(a)
+		p.Fence()
+	}
+}

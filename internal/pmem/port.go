@@ -1,0 +1,187 @@
+package pmem
+
+// Stats counts the memory operations issued through one Port. The paper
+// argues about algorithm cost in terms of shared-memory instructions,
+// flushes, and fences (Sections 3 and 10); these counters let the
+// benchmark harness report those hardware-independent costs alongside
+// throughput.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	CASes      uint64
+	Flushes    uint64
+	Fences     uint64
+	Boundaries uint64 // capsule boundaries (incremented by the capsule package)
+	Steps      uint64 // total instrumented steps
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.CASes += other.CASes
+	s.Flushes += other.Flushes
+	s.Fences += other.Fences
+	s.Boundaries += other.Boundaries
+	s.Steps += other.Steps
+}
+
+// Port is a single process's handle on a Memory. A Port is not safe for
+// concurrent use: each simulated process owns exactly one.
+//
+// Every operation is an instrumented step: it bumps Stats and invokes
+// the crash hook, which is where the proc runtime injects crashes. In
+// shared mode, Flush only *schedules* a line write-back (clflushopt
+// semantics); the line becomes durable at the next Fence (sfence), so a
+// crash between Flush and Fence can still lose the line — exactly the
+// failure mode the paper's boundary protocol must tolerate.
+type Port struct {
+	m *Memory
+	// Hook, if non-nil, is called at the start of every instrumented
+	// operation. The proc runtime uses it to inject crashes by
+	// panicking with its crash sentinel.
+	Hook func()
+	// Auto enables the Izraelevitz et al. construction (Section 9):
+	// every shared-memory access is immediately followed by a flush of
+	// the accessed line and a fence, which converts a private-model
+	// algorithm into a durably linearizable shared-model one.
+	Auto bool
+
+	Stats   Stats
+	pending []uint64 // lines flushed since the last fence (checked shared mode)
+	// unfenced tracks (in every mode) whether a Flush has been issued
+	// with no Fence/CAS since: commit protocols must fence before a
+	// commit write that could become durable by eviction, or the
+	// commit can outrun the data it covers.
+	unfenced bool
+}
+
+// NewPort creates a process-private access handle.
+func (m *Memory) NewPort() *Port {
+	return &Port{m: m}
+}
+
+// Memory returns the underlying Memory.
+func (p *Port) Memory() *Memory { return p.m }
+
+func (p *Port) step() {
+	p.Stats.Steps++
+	if p.Hook != nil {
+		p.Hook()
+	}
+}
+
+// Read returns the current value of word a.
+func (p *Port) Read(a Addr) uint64 {
+	p.step()
+	p.Stats.Reads++
+	v := p.m.load(a)
+	if p.Auto {
+		p.flushFence(a)
+	}
+	return v
+}
+
+// Write stores v into word a.
+func (p *Port) Write(a Addr, v uint64) {
+	p.step()
+	p.Stats.Writes++
+	p.m.store(a, v)
+	if p.Auto {
+		p.flushFence(a)
+	}
+}
+
+// CAS atomically replaces the value of word a with new if it equals old,
+// reporting whether it did.
+//
+// In checked mode a CAS completes the process's pending (unfenced)
+// flushes first: the paper's optimized variants elide an sfence when it
+// is immediately followed by a CAS, relying on the locked instruction's
+// ordering ("removing fences that are followed by a CAS, as it already
+// contains a fence", Section 10). We adopt that favorable hardware
+// interpretation uniformly so that checked-mode crash testing of the
+// Opt variants remains sound; the *cost* difference between the
+// variants is still visible because the elided Fence is simply not
+// issued (not counted, not charged latency).
+func (p *Port) CAS(a Addr, old, new uint64) bool {
+	p.step()
+	p.Stats.CASes++
+	p.unfenced = false
+	if len(p.pending) > 0 {
+		for _, li := range p.pending {
+			p.m.flushLine(li)
+		}
+		p.pending = p.pending[:0]
+	}
+	ok := p.m.cas(a, old, new)
+	if p.Auto {
+		p.flushFence(a)
+	}
+	return ok
+}
+
+// Flush schedules write-back of the cache line containing a
+// (clflushopt). The line is guaranteed durable only after the next
+// Fence. Flushing is idempotent and cheap to repeat.
+func (p *Port) Flush(a Addr) {
+	p.step()
+	p.Stats.Flushes++
+	p.unfenced = true
+	m := p.m
+	if m.cfg.Checked && m.cfg.Mode == Shared {
+		p.pending = append(p.pending, lineOf(a))
+	}
+	m.delay(m.cfg.FlushDelay)
+}
+
+// Fence orders and completes all flushes issued by this process since
+// the previous Fence (sfence).
+func (p *Port) Fence() {
+	p.step()
+	p.Stats.Fences++
+	p.unfenced = false
+	m := p.m
+	if len(p.pending) > 0 {
+		for _, li := range p.pending {
+			m.flushLine(li)
+		}
+		p.pending = p.pending[:0]
+	}
+	m.delay(m.cfg.FenceDelay)
+}
+
+// FlushFence is the common flush-then-fence pair.
+func (p *Port) FlushFence(a Addr) {
+	p.Flush(a)
+	p.Fence()
+}
+
+// flushFence implements the Auto (Izraelevitz) per-access persist
+// without double-charging the crash hook for the synthetic ops.
+func (p *Port) flushFence(a Addr) {
+	p.Stats.Flushes++
+	p.Stats.Fences++
+	m := p.m
+	if m.cfg.Checked && m.cfg.Mode == Shared {
+		m.flushLine(lineOf(a))
+	}
+	m.delay(m.cfg.FlushDelay)
+	m.delay(m.cfg.FenceDelay)
+}
+
+// DropPending discards flushes scheduled but not yet fenced. The proc
+// runtime calls this when the process crashes: an unfenced clflushopt
+// has no durability guarantee. (Whether the hardware happened to
+// complete it is subsumed by the crash's random-prefix line policy.)
+func (p *Port) DropPending() {
+	p.pending = p.pending[:0]
+	p.unfenced = false
+}
+
+// HasUnfencedFlush reports whether a flush has been issued with no
+// fence (or fencing CAS) since. Commit protocols consult it: a commit
+// word written while earlier flushes are unfenced can become durable by
+// eviction before the data those flushes cover, so the committer must
+// fence first.
+func (p *Port) HasUnfencedFlush() bool { return p.unfenced }

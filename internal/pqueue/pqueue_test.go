@@ -1,0 +1,448 @@
+package pqueue
+
+import (
+	"fmt"
+	"testing"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+)
+
+// env bundles a runtime, a queue variant and its registry.
+type env struct {
+	rt    *proc.Runtime
+	reg   *capsule.Registry
+	q     Queue
+	bases []pmem.Addr
+	arena *qnode.Arena
+}
+
+type variant struct {
+	name string
+	mk   func(cfg Config) Queue
+}
+
+var variants = []variant{
+	{"general", func(cfg Config) Queue { return NewGeneral(cfg) }},
+	{"general-opt", func(cfg Config) Queue { cfg.Opt = true; return NewGeneral(cfg) }},
+	{"normalized", func(cfg Config) Queue { return NewNormalized(cfg) }},
+	{"normalized-opt", func(cfg Config) Queue { cfg.Opt = true; return NewNormalized(cfg) }},
+}
+
+// durability configurations exercised by the crash tests.
+type durCfg struct {
+	name     string
+	mode     pmem.Mode
+	auto     bool // Izraelevitz construction
+	manual   bool // hand-placed flushes
+	sysCrash bool
+}
+
+var durCfgs = []durCfg{
+	{name: "private", mode: pmem.Private},
+	{name: "izraelevitz", mode: pmem.Shared, auto: true, sysCrash: true},
+	{name: "manual", mode: pmem.Shared, manual: true, sysCrash: true},
+}
+
+func newEnv(t testing.TB, v variant, d durCfg, P int, nodes uint32, seed int64) *env {
+	t.Helper()
+	mem := pmem.New(pmem.Config{
+		Words:   uint64(nodes+4096) * pmem.WordsPerLine * 2,
+		Mode:    d.mode,
+		Checked: true,
+		Seed:    seed,
+	})
+	rt := proc.NewRuntime(mem, P)
+	rt.SystemCrashMode = d.sysCrash
+	if d.auto {
+		for i := 0; i < P; i++ {
+			rt.Proc(i).Mem().Auto = true
+		}
+	}
+	e := &env{rt: rt, arena: qnode.NewArena(mem, nodes)}
+	e.q = v.mk(Config{
+		Mem:     mem,
+		Space:   rcas.NewSpace(mem, P),
+		Arena:   e.arena,
+		P:       P,
+		Durable: d.manual,
+	})
+	e.reg = capsule.NewRegistry()
+	e.q.Register(e.reg)
+	e.bases = capsule.AllocProcAreas(mem, P)
+	e.q.Init(rt.Proc(0).Mem(), DummyNode)
+	return e
+}
+
+// quiesce disarms all crash schedules so post-run inspection through
+// the processes' ports cannot fire a leftover crash on the test
+// goroutine.
+func (e *env) quiesce() {
+	for i := 0; i < e.rt.P(); i++ {
+		e.rt.Proc(i).Disarm()
+	}
+}
+
+// driverSink reads the pairs driver's persisted accumulator for proc i
+// after its program finished.
+func driverSink(e *env, i int) uint64 {
+	e.quiesce()
+	m := capsule.NewMachine(e.rt.Proc(i), e.reg, e.bases[i])
+	depth, pc, locals := m.LoadState()
+	if depth != 0 || pc != capsule.PCDone {
+		panic(fmt.Sprintf("driver %d not finished: depth=%d pc=%d", i, depth, pc))
+	}
+	return locals[drvSink]
+}
+
+// expectSinkSum returns the sum of values pid<<40|k for k in [0,pairs).
+func expectSinkSum(pid int, pairs uint64) uint64 {
+	s := uint64(0)
+	for k := uint64(0); k < pairs; k++ {
+		s += uint64(pid)<<40 | k
+	}
+	return s
+}
+
+func TestSequentialPairs(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			e := newEnv(t, v, durCfgs[0], 1, 256, 1)
+			drv := RegisterPairsDriver(e.reg, e.q)
+			const pairs = 40
+			prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+			e.rt.RunToCompletion(prog)
+			if got := e.q.Len(e.rt.Proc(0).Mem()); got != 0 {
+				t.Fatalf("queue length %d after balanced pairs", got)
+			}
+			// The driver accumulated every dequeued value; with one
+			// process each dequeue returns the value just enqueued.
+			if got := driverSink(e, 0); got != expectSinkSum(0, pairs) {
+				t.Fatalf("sink=%d, want %d", got, expectSinkSum(0, pairs))
+			}
+		})
+	}
+}
+
+func TestSequentialFIFOOrder(t *testing.T) {
+	// Enqueue k values then dequeue them all: strict FIFO expected.
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			e := newEnv(t, v, durCfgs[0], 1, 256, 1)
+			logs := []*OpLog{{}}
+			// Custom driver: all enqueues then all dequeues.
+			drv := e.reg.Register("fifo-driver", false,
+				func(c *capsule.Ctx) { // pc0: enqueue phase
+					if c.Local(1) == 0 {
+						c.Boundary(2)
+						return
+					}
+					c.SetLocal(1, c.Local(1)-1)
+					c.Call(e.q.EnqRoutine(), e.q.EnqEntry(), 1, []uint64{100 + c.Local(1)}, nil)
+				},
+				func(c *capsule.Ctx) { c.Boundary(0) }, // pc1
+				func(c *capsule.Ctx) { // pc2: dequeue phase
+					c.Call(e.q.DeqRoutine(), e.q.DeqEntry(), 3, nil, []int{3, 4})
+				},
+				func(c *capsule.Ctx) { // pc3
+					if c.Local(3) == 0 {
+						c.Finish()
+						return
+					}
+					logs[0].Dequeued = append(logs[0].Dequeued, c.Local(4))
+					c.Boundary(2)
+				},
+			)
+			const k = 20
+			prog := InstallDriver(e.rt, e.reg, drv, e.bases, k)
+			e.rt.RunToCompletion(prog)
+			if len(logs[0].Dequeued) != k {
+				t.Fatalf("dequeued %d values", len(logs[0].Dequeued))
+			}
+			for i, got := range logs[0].Dequeued {
+				want := uint64(100 + k - 1 - i)
+				if got != want {
+					t.Fatalf("position %d: got %d, want %d", i, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyDequeue(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			e := newEnv(t, v, durCfgs[0], 1, 64, 1)
+			drv := e.reg.Register("empty-driver", false,
+				func(c *capsule.Ctx) {
+					c.Call(e.q.DeqRoutine(), e.q.DeqEntry(), 1, nil, []int{1, 2})
+				},
+				func(c *capsule.Ctx) {
+					c.Finish(c.Local(1), c.Local(2))
+				},
+			)
+			capsule.Install(e.rt.Proc(0).Mem(), e.bases[0], e.reg, drv)
+			var rets []uint64
+			e.rt.RunToCompletion(func(i int) proc.Program {
+				return func(p *proc.Proc) {
+					rets = capsule.NewMachine(p, e.reg, e.bases[i]).Run()
+				}
+			})
+			if len(rets) != 2 || rets[0] != 0 {
+				t.Fatalf("dequeue on empty: %v", rets)
+			}
+		})
+	}
+}
+
+func TestSeedAndDrain(t *testing.T) {
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			e := newEnv(t, v, durCfgs[0], 1, 256, 1)
+			port := e.rt.Proc(0).Mem()
+			e.q.Seed(port, DummyNode+1, 30, func(i uint32) uint64 { return uint64(i) * 3 })
+			if got := e.q.Len(port); got != 30 {
+				t.Fatalf("len=%d", got)
+			}
+			vals := e.q.Drain(port)
+			for i, got := range vals {
+				if got != uint64(i)*3 {
+					t.Fatalf("drain[%d]=%d", i, got)
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentPairsAllVariants runs the paper's workload with P
+// processes and validates exactness from the logs plus final state.
+func TestConcurrentPairsAllVariants(t *testing.T) {
+	const P, pairs = 4, 60
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			e := newEnv(t, v, durCfgs[0], P, 4096, 1)
+			logs := make([]*OpLog, P)
+			for i := range logs {
+				logs[i] = &OpLog{}
+			}
+			drv := RegisterLoggingDriver(e.reg, e.q, logs)
+			prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+			e.rt.RunToCompletion(prog)
+
+			port := e.rt.Proc(0).Mem()
+			remaining := e.q.Drain(port)
+			checkExactness(t, logs, remaining, P, pairs)
+		})
+	}
+}
+
+// checkExactness validates: every enqueued value dequeued or still
+// present, exactly once; per-producer FIFO order among dequeues of each
+// consumer stream.
+func checkExactness(t *testing.T, logs []*OpLog, remaining []uint64, P int, pairs uint64) {
+	t.Helper()
+	enq := make(map[uint64]int)
+	for _, l := range logs {
+		for _, v := range l.Enqueued {
+			enq[v]++
+		}
+	}
+	consumed := make(map[uint64]int)
+	for _, l := range logs {
+		for _, v := range l.Dequeued {
+			consumed[v]++
+		}
+	}
+	for _, v := range remaining {
+		consumed[v]++
+	}
+	for v, n := range consumed {
+		if n != 1 {
+			t.Fatalf("value %x consumed %d times", v, n)
+		}
+		if enq[v] != 1 {
+			t.Fatalf("value %x dequeued but enqueued %d times", v, enq[v])
+		}
+	}
+	for v := range enq {
+		if consumed[v] != 1 {
+			t.Fatalf("value %x lost", v)
+		}
+	}
+	// Per-producer FIFO per consumer stream.
+	for ci, l := range logs {
+		last := map[uint64]int64{}
+		for _, v := range l.Dequeued {
+			prod, idx := v>>40, int64(v&0xFFFFFFFFFF)
+			if prev, ok := last[prod]; ok && idx <= prev {
+				t.Fatalf("consumer %d saw producer %d out of FIFO order", ci, prod)
+			}
+			last[prod] = idx
+		}
+	}
+}
+
+// TestCrashSweepSinglePairs sweeps a deterministic crash across every
+// step of a single-process pairs run, for every variant and durability
+// configuration. Exactness: final sink sum and empty queue.
+func TestCrashSweepSinglePairs(t *testing.T) {
+	const pairs = 3
+	for _, v := range variants {
+		for _, d := range durCfgs {
+			t.Run(fmt.Sprintf("%s/%s", v.name, d.name), func(t *testing.T) {
+				e := newEnv(t, v, d, 1, 256, 1)
+				drv := RegisterPairsDriver(e.reg, e.q)
+				prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+				e.rt.RunToCompletion(prog)
+				total := int64(e.rt.Proc(0).Mem().Stats.Steps)
+				want := expectSinkSum(0, pairs)
+
+				stride := int64(1)
+				if testing.Short() {
+					stride = 7
+				}
+				for k := int64(1); k <= total; k += stride {
+					e := newEnv(t, v, d, 1, 256, k)
+					drv := RegisterPairsDriver(e.reg, e.q)
+					prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+					e.rt.Proc(0).ArmCrashAfter(k)
+					e.rt.RunToCompletion(prog)
+					e.quiesce()
+					port := e.rt.Proc(0).Mem()
+					if got := e.q.Len(port); got != 0 {
+						t.Fatalf("crash@%d: queue length %d", k, got)
+					}
+					if got := driverSink(e, 0); got != want {
+						t.Fatalf("crash@%d: sink=%d, want %d", k, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentCrashStorm runs P processes with randomized independent
+// crashes (private model) and validates exactness from persistent state:
+// all processes complete all pairs, the queue drains empty, and the
+// total of all sinks matches.
+func TestConcurrentCrashStorm(t *testing.T) {
+	const P, pairs = 3, 15
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 3; seed++ {
+				e := newEnv(t, v, durCfgs[0], P, 4096, seed)
+				drv := RegisterPairsDriver(e.reg, e.q)
+				prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+				for i := 0; i < P; i++ {
+					e.rt.Proc(i).AutoCrash(seed*31+int64(i), 150, 1500)
+				}
+				e.rt.RunToCompletion(prog)
+				e.quiesce()
+				port := e.rt.Proc(0).Mem()
+				if got := e.q.Len(port); got != 0 {
+					t.Fatalf("seed=%d: queue length %d", seed, got)
+				}
+				var totalSink, wantSink uint64
+				for i := 0; i < P; i++ {
+					totalSink += driverSink(e, i)
+					wantSink += expectSinkSum(i, pairs)
+				}
+				// Values are conserved even though processes may dequeue
+				// each other's values.
+				if totalSink != wantSink {
+					t.Fatalf("seed=%d: sink total %d, want %d", seed, totalSink, wantSink)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedSystemCrashStorm drives external full-system crashes during
+// a concurrent run in the shared-cache model, for both the Izraelevitz
+// and the manual-flush durability configurations.
+func TestSharedSystemCrashStorm(t *testing.T) {
+	const P, pairs = 2, 10
+	for _, v := range variants {
+		for _, d := range durCfgs[1:] {
+			t.Run(fmt.Sprintf("%s/%s", v.name, d.name), func(t *testing.T) {
+				e := newEnv(t, v, d, P, 2048, 99)
+				drv := RegisterPairsDriver(e.reg, e.q)
+				prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+				e.rt.GoAll(prog)
+				done := make(chan struct{})
+				go func() {
+					e.rt.Wait()
+					close(done)
+				}()
+				crashes := 0
+				for {
+					select {
+					case <-done:
+						port := e.rt.Proc(0).Mem()
+						if got := e.q.Len(port); got != 0 {
+							t.Fatalf("queue length %d after %d system crashes", got, crashes)
+						}
+						var totalSink, wantSink uint64
+						for i := 0; i < P; i++ {
+							totalSink += driverSink(e, i)
+							wantSink += expectSinkSum(i, pairs)
+						}
+						if totalSink != wantSink {
+							t.Fatalf("sink total %d, want %d (crashes=%d)", totalSink, wantSink, crashes)
+						}
+						return
+					default:
+						e.rt.CrashSystem()
+						crashes++
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBoundaryCounts pins the per-operation persist-event ordering the
+// paper's Figure 5/6 discussion predicts: the Normalized queue uses
+// strictly fewer capsule boundaries per operation than the General one.
+func TestBoundaryCounts(t *testing.T) {
+	counts := map[string]uint64{}
+	for _, v := range variants[:4] {
+		e := newEnv(t, v, durCfgs[0], 1, 512, 1)
+		drv := RegisterPairsDriver(e.reg, e.q)
+		const pairs = 50
+		prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+		e.rt.RunToCompletion(prog)
+		counts[v.name] = e.rt.Proc(0).Mem().Stats.Boundaries
+	}
+	if counts["normalized"] >= counts["general"] {
+		t.Fatalf("normalized (%d) should use fewer boundaries than general (%d)",
+			counts["normalized"], counts["general"])
+	}
+	if counts["normalized-opt"] >= counts["general-opt"] {
+		t.Fatalf("normalized-opt (%d) should use fewer boundaries than general-opt (%d)",
+			counts["normalized-opt"], counts["general-opt"])
+	}
+}
+
+// TestFenceCounts pins the Opt claim: compact frames and fence elision
+// reduce fences per operation.
+func TestFenceCounts(t *testing.T) {
+	fences := map[string]uint64{}
+	for _, v := range variants {
+		e := newEnv(t, v, durCfgs[2], 1, 512, 1) // manual durability
+		drv := RegisterPairsDriver(e.reg, e.q)
+		const pairs = 50
+		prog := InstallDriver(e.rt, e.reg, drv, e.bases, pairs)
+		e.rt.RunToCompletion(prog)
+		fences[v.name] = e.rt.Proc(0).Mem().Stats.Fences
+	}
+	if fences["general-opt"] >= fences["general"] {
+		t.Fatalf("general-opt fences %d, general %d", fences["general-opt"], fences["general"])
+	}
+	if fences["normalized-opt"] >= fences["normalized"] {
+		t.Fatalf("normalized-opt fences %d, normalized %d", fences["normalized-opt"], fences["normalized"])
+	}
+}

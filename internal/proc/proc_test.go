@@ -1,0 +1,268 @@
+package proc
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"delayfree/internal/pmem"
+)
+
+func newRT(t *testing.T, P int, mode pmem.Mode) *Runtime {
+	t.Helper()
+	m := pmem.New(pmem.Config{Words: 1 << 14, Mode: mode, Checked: true, Seed: 7})
+	return NewRuntime(m, P)
+}
+
+func TestRunToCompletion(t *testing.T) {
+	rt := newRT(t, 4, pmem.Private)
+	cells := make([]pmem.Addr, 4)
+	for i := range cells {
+		cells[i] = rt.Mem().AllocLines(1)
+	}
+	rt.RunToCompletion(func(i int) Program {
+		return func(p *Proc) {
+			p.Mem().Write(cells[i], uint64(i+1))
+		}
+	})
+	for i := range cells {
+		if got := rt.Mem().VisibleWord(cells[i]); got != uint64(i+1) {
+			t.Fatalf("proc %d wrote %d", i, got)
+		}
+	}
+}
+
+func TestCrashedFlagAndRestart(t *testing.T) {
+	rt := newRT(t, 1, pmem.Private)
+	cell := rt.Mem().AllocLines(1)
+	var runs, sawCrash atomic.Int64
+	rt.Proc(0).ArmCrashAfter(3)
+	rt.RunToCompletion(func(i int) Program {
+		return func(p *Proc) {
+			runs.Add(1)
+			if p.Crashed() {
+				sawCrash.Add(1)
+			}
+			// 5 instrumented steps; the armed crash hits on step 3 of
+			// the first run.
+			for k := 0; k < 5; k++ {
+				p.Mem().Write(cell, uint64(k))
+			}
+		}
+	})
+	if runs.Load() != 2 {
+		t.Fatalf("want 2 runs, got %d", runs.Load())
+	}
+	if sawCrash.Load() != 1 {
+		t.Fatalf("want 1 crash observation, got %d", sawCrash.Load())
+	}
+	if rt.Proc(0).Restarts() != 1 {
+		t.Fatalf("restarts=%d", rt.Proc(0).Restarts())
+	}
+}
+
+func TestArmCrashAfterDeterministic(t *testing.T) {
+	// The crash must land exactly at the n-th instrumented step.
+	for n := int64(1); n <= 6; n++ {
+		rt := newRT(t, 1, pmem.Private)
+		cell := rt.Mem().AllocLines(1)
+		rt.Proc(0).ArmCrashAfter(n)
+		var firstRunSteps atomic.Int64
+		rt.RunToCompletion(func(i int) Program {
+			return func(p *Proc) {
+				crashedRun := !p.Crashed()
+				for k := uint64(1); k <= 6; k++ {
+					p.Mem().Write(cell, k)
+					if crashedRun {
+						firstRunSteps.Store(int64(k))
+					}
+				}
+			}
+		})
+		// The hook fires at the start of the n-th op, so n-1 writes
+		// completed before the crash.
+		if got := firstRunSteps.Load(); got != n-1 {
+			t.Fatalf("n=%d: first run completed %d writes", n, got)
+		}
+	}
+}
+
+func TestCrashNow(t *testing.T) {
+	rt := newRT(t, 1, pmem.Private)
+	cell := rt.Mem().AllocLines(1)
+	done := make(chan struct{})
+	rt.Go(0, func(p *Proc) {
+		if !p.Crashed() {
+			close(done)
+			for {
+				p.Mem().Write(cell, 1) // spin until crashed
+			}
+		}
+	})
+	<-done
+	rt.Proc(0).CrashNow()
+	rt.Wait()
+	if rt.Proc(0).Restarts() != 1 {
+		t.Fatalf("restarts=%d", rt.Proc(0).Restarts())
+	}
+}
+
+func TestAutoCrashStress(t *testing.T) {
+	rt := newRT(t, 1, pmem.Private)
+	cell := rt.Mem().AllocLines(1)
+	rt.Proc(0).AutoCrash(1, 2, 9)
+	rt.RunToCompletion(func(i int) Program {
+		return func(p *Proc) {
+			p.Crashed()
+			// Idempotent program: monotonically raise the cell to 100.
+			for p.Mem().Read(cell) < 100 {
+				v := p.Mem().Read(cell)
+				p.Mem().CAS(cell, v, v+1)
+			}
+			p.Disarm()
+		}
+	})
+	if got := rt.Mem().VisibleWord(cell); got != 100 {
+		t.Fatalf("cell=%d", got)
+	}
+	if rt.Proc(0).Restarts() == 0 {
+		t.Fatal("auto-crash never fired")
+	}
+}
+
+func TestSystemCrashModeSingleProc(t *testing.T) {
+	// In SystemCrashMode with a shared memory, a crashed process drops
+	// unflushed lines before restarting.
+	rt := newRT(t, 1, pmem.Shared)
+	rt.SystemCrashMode = true
+	mem := rt.Mem()
+	unflushed := mem.AllocLines(1)
+	flushed := mem.AllocLines(1)
+	rt.Proc(0).ArmCrashAfter(6)
+	rt.RunToCompletion(func(i int) Program {
+		return func(p *Proc) {
+			if p.Crashed() {
+				return // second run: just observe
+			}
+			p.Mem().Write(flushed, 11)  // step 1
+			p.Mem().Flush(flushed)      // step 2
+			p.Mem().Fence()             // step 3
+			p.Mem().Write(unflushed, 7) // step 4
+			p.Mem().Read(flushed)       // step 5
+			p.Mem().Read(flushed)       // step 6: crash fires here
+			t.Error("should have crashed")
+		}
+	})
+	if rt.SystemCrashes() != 1 {
+		t.Fatalf("system crashes = %d", rt.SystemCrashes())
+	}
+	if got := mem.VisibleWord(flushed); got != 11 {
+		t.Fatalf("flushed line lost: %d", got)
+	}
+	// The unflushed line held exactly one logged write; the prefix
+	// policy may keep or drop it, but the visible and persisted images
+	// must agree.
+	if mem.VisibleWord(unflushed) != mem.PersistedWord(unflushed) {
+		t.Fatal("cache not dropped on system crash")
+	}
+}
+
+func TestCrashSystemExternal(t *testing.T) {
+	rt := newRT(t, 3, pmem.Shared)
+	mem := rt.Mem()
+	stop := make(chan struct{})
+	cells := make([]pmem.Addr, 3)
+	for i := range cells {
+		cells[i] = mem.AllocLines(1)
+	}
+	started := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		rt.Go(i, func(p *Proc) {
+			p.Crashed()
+			started <- struct{}{}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				p.Mem().Write(cells[i], 1)
+				p.Mem().FlushFence(cells[i])
+			}
+		})
+	}
+	for i := 0; i < 3; i++ {
+		<-started
+	}
+	rt.CrashSystem()
+	if rt.SystemCrashes() != 1 {
+		t.Fatalf("system crashes = %d", rt.SystemCrashes())
+	}
+	close(stop)
+	rt.Wait()
+	total := uint64(0)
+	for i := range rt.procs {
+		total += rt.Proc(i).Restarts()
+	}
+	if total < 3 {
+		t.Fatalf("expected every proc to restart, total restarts=%d", total)
+	}
+}
+
+func TestStepInstrumentsVolatileLoops(t *testing.T) {
+	rt := newRT(t, 1, pmem.Private)
+	rt.Proc(0).ArmCrashAfter(5)
+	var crashed atomic.Bool
+	rt.RunToCompletion(func(i int) Program {
+		return func(p *Proc) {
+			if p.Crashed() {
+				crashed.Store(true)
+				return
+			}
+			for {
+				p.Step() // no memory traffic, still crashable
+			}
+		}
+	})
+	if !crashed.Load() {
+		t.Fatal("Step did not deliver the crash")
+	}
+}
+
+func TestTotalStats(t *testing.T) {
+	rt := newRT(t, 2, pmem.Private)
+	a := rt.Mem().AllocLines(1)
+	b := rt.Mem().AllocLines(1)
+	rt.RunToCompletion(func(i int) Program {
+		return func(p *Proc) {
+			if i == 0 {
+				p.Mem().Write(a, 1)
+			} else {
+				p.Mem().Read(b)
+				p.Mem().Read(b)
+			}
+		}
+	})
+	s := rt.TotalStats()
+	if s.Writes != 1 || s.Reads != 2 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestDisarm(t *testing.T) {
+	rt := newRT(t, 1, pmem.Private)
+	cell := rt.Mem().AllocLines(1)
+	p0 := rt.Proc(0)
+	p0.ArmCrashAfter(1000)
+	p0.Disarm()
+	rt.RunToCompletion(func(i int) Program {
+		return func(p *Proc) {
+			for k := 0; k < 50; k++ {
+				p.Mem().Write(cell, uint64(k))
+			}
+		}
+	})
+	if p0.Restarts() != 0 {
+		t.Fatalf("disarmed proc crashed %d times", p0.Restarts())
+	}
+}

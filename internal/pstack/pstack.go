@@ -1,0 +1,224 @@
+// Package pstack applies the Persistent Normalized Simulator
+// (Section 7) to a second data structure — the Treiber stack — as
+// evidence of the transformation's generality: Theorem 7.1 covers any
+// normalized lock-free structure, not just the queue of the paper's
+// evaluation.
+//
+// The Treiber stack in normalized form is particularly simple: both
+// operations' CAS generators emit a single CAS on the top-of-stack
+// cell, and the wrap-ups are trivial (no helping). Each operation is
+// therefore one generator capsule plus one executor capsule — one
+// persisted boundary per attempt, exactly as in the queue.
+package pstack
+
+import (
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+)
+
+// Stack is the transformed persistent Treiber stack.
+type Stack struct {
+	mem     *pmem.Memory
+	space   rcas.CasSpace
+	arena   *qnode.Arena
+	nproc   int
+	durable bool
+	opt     bool
+
+	top pmem.Addr // recoverable CAS cell, own line
+	pa  []*qnode.PersistentAlloc
+
+	ops  capsule.RoutineID
+	push int // entry pc
+	pop  int
+}
+
+// Config assembles the stack's dependencies.
+type Config struct {
+	Mem     *pmem.Memory
+	Space   rcas.CasSpace
+	Arena   *qnode.Arena
+	P       int
+	Durable bool
+	Opt     bool
+}
+
+// Slots (shared by both operations; each Invoke/Call resets the frame).
+const (
+	sV   = 1 // push: value argument / pop: value read
+	sN   = 2 // push: allocated node
+	sTop = 3 // expected top triple
+	sNx  = 4 // pop: next triple under top
+)
+
+// Program counters.
+const (
+	pcPushGen  = 0
+	pcPushExec = 1
+	pcPopGen   = 2
+	pcPopExec  = 3
+)
+
+// New builds the stack; call Register and Init before use.
+func New(cfg Config) *Stack {
+	s := &Stack{
+		mem:     cfg.Mem,
+		space:   cfg.Space,
+		arena:   cfg.Arena,
+		nproc:   cfg.P,
+		durable: cfg.Durable,
+	}
+	s.top = cfg.Mem.AllocLines(1)
+	s.pa = make([]*qnode.PersistentAlloc, cfg.P)
+	cfg.Space.SetDurable(cfg.Durable)
+	s.opt = cfg.Opt
+	return s
+}
+
+// Init writes the empty-stack state and creates per-process allocators.
+func (s *Stack) Init(port *pmem.Port) {
+	rcas.InitCell(port, s.top, 0, rcas.Alias(0, s.nproc), 0)
+	port.FlushFence(s.top)
+	for i := 0; i < s.nproc; i++ {
+		lo, hi := s.arena.Range(i, s.nproc, 0)
+		s.pa[i] = qnode.NewPersistentAlloc(s.mem, port, s.arena, lo, hi)
+	}
+}
+
+// Register registers the push/pop routine; PushEntry and PopEntry give
+// the capsule entry points.
+func (s *Stack) Register(reg *capsule.Registry) {
+	s.ops = reg.Register("pstack-ops", s.opt,
+		s.pushGen, s.pushExec, s.popGen, s.popExec)
+	s.push, s.pop = pcPushGen, pcPopGen
+}
+
+// Routine returns the registered routine id.
+func (s *Stack) Routine() capsule.RoutineID { return s.ops }
+
+// PushEntry returns the push capsule entry (one uint64 argument, no
+// results).
+func (s *Stack) PushEntry() int { return s.push }
+
+// PopEntry returns the pop capsule entry (no arguments; results are
+// (ok, value)).
+func (s *Stack) PopEntry() int { return s.pop }
+
+func (s *Stack) pushGen(c *capsule.Ctx) {
+	pid := c.P().ID()
+	p := c.Mem()
+	n := s.pa[pid].Alloc(p, func(w uint64) uint32 { return uint32(rcas.Val(w)) })
+	p.Write(s.arena.Val(n), c.Local(sV))
+	top := s.space.ReadFull(p, s.top)
+	// Link the private node to the current top; repetition rewrites it.
+	rcas.InitCell(p, s.arena.Next(n), rcas.Val(top), pid, c.Seq())
+	if s.durable {
+		p.Flush(s.arena.Addr(n))
+	}
+	c.SetLocal(sN, uint64(n))
+	c.SetLocal(sTop, top)
+	c.Boundary(pcPushExec)
+}
+
+func (s *Stack) pushExec(c *capsule.Ctx) {
+	pid := c.P().ID()
+	p := c.Mem()
+	seq := c.NextSeq()
+	top := c.Local(sTop)
+	ok := false
+	if c.Crashed() {
+		ok = s.space.CheckRecovery(p, s.top, seq, pid)
+	}
+	if !ok {
+		ok = s.space.Cas(p, s.top, top, c.Local(sN), seq, pid)
+	}
+	if ok {
+		if s.durable {
+			p.Flush(s.top)
+			p.Fence()
+		}
+		c.Done()
+		return
+	}
+	// Regenerate in the same capsule: re-read top, re-link, loop.
+	n := uint32(c.Local(sN))
+	top = s.space.ReadFull(p, s.top)
+	rcas.InitCell(p, s.arena.Next(n), rcas.Val(top), pid, c.Seq())
+	if s.durable {
+		p.Flush(s.arena.Addr(n))
+	}
+	c.SetLocal(sTop, top)
+	c.Boundary(pcPushExec)
+}
+
+func (s *Stack) popGen(c *capsule.Ctx) {
+	if !s.popGenerate(c) {
+		return
+	}
+	c.Boundary(pcPopExec)
+}
+
+// popGenerate reads the top node and persists the pop-CAS descriptor;
+// returns false if it already terminated (empty stack).
+func (s *Stack) popGenerate(c *capsule.Ctx) bool {
+	p := c.Mem()
+	top := s.space.ReadFull(p, s.top)
+	if rcas.Val(top) == 0 {
+		c.Done(0, 0)
+		return false
+	}
+	n := uint32(rcas.Val(top))
+	nx := s.space.ReadFull(p, s.arena.Next(n))
+	v := p.Read(s.arena.Val(n))
+	if s.durable {
+		p.Flush(s.arena.Addr(n))
+	}
+	c.SetLocal(sTop, top)
+	c.SetLocal(sNx, nx)
+	c.SetLocal(sV, v)
+	return true
+}
+
+func (s *Stack) popExec(c *capsule.Ctx) {
+	pid := c.P().ID()
+	p := c.Mem()
+	seq := c.NextSeq()
+	top := c.Local(sTop)
+	ok := false
+	if c.Crashed() {
+		ok = s.space.CheckRecovery(p, s.top, seq, pid)
+	}
+	if !ok {
+		ok = s.space.Cas(p, s.top, top, rcas.Val(c.Local(sNx)), seq, pid)
+	}
+	if ok {
+		if s.durable {
+			p.Flush(s.top)
+			p.Fence()
+		}
+		n := uint32(rcas.Val(top))
+		fh := s.pa[pid].FreeHead(p)
+		if fh != n {
+			s.pa[pid].Free(p, n, rcas.Pack(uint64(fh), rcas.Alias(pid, s.nproc), c.Seq()))
+		}
+		c.Done(1, c.Local(sV))
+		return
+	}
+	if !s.popGenerate(c) {
+		return
+	}
+	c.Boundary(pcPopExec)
+}
+
+// Len counts nodes by traversal; quiescent test helper.
+func (s *Stack) Len(port *pmem.Port) int {
+	n := 0
+	i := uint32(rcas.Val(port.Read(s.top)))
+	for i != 0 {
+		n++
+		i = uint32(rcas.Val(port.Read(s.arena.Next(i))))
+	}
+	return n
+}

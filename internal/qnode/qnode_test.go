@@ -1,0 +1,131 @@
+package qnode
+
+import (
+	"testing"
+
+	"delayfree/internal/pmem"
+)
+
+func newArena(t *testing.T, nodes uint32) (*pmem.Memory, *Arena) {
+	t.Helper()
+	mem := pmem.New(pmem.Config{Words: uint64(nodes+16) * pmem.WordsPerLine * 2, Mode: pmem.Shared, Checked: true})
+	return mem, NewArena(mem, nodes)
+}
+
+func TestArenaAddressing(t *testing.T) {
+	_, a := newArena(t, 8)
+	if a.Cap() != 8 {
+		t.Fatalf("cap=%d", a.Cap())
+	}
+	if a.Val(1) != a.Addr(1) || a.Next(1) != a.Addr(1)+1 {
+		t.Fatal("field offsets wrong")
+	}
+	if a.Addr(2)-a.Addr(1) != pmem.WordsPerLine {
+		t.Fatal("nodes share a cache line")
+	}
+	for _, bad := range []uint32{0, 9} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("index %d accepted", bad)
+				}
+			}()
+			a.Addr(bad)
+		}()
+	}
+}
+
+func TestRangeDisjoint(t *testing.T) {
+	_, a := newArena(t, 100)
+	seen := map[uint32]int{}
+	for pid := 0; pid < 4; pid++ {
+		lo, hi := a.Range(pid, 4, 10)
+		if lo <= 10 {
+			t.Fatalf("pid %d range enters reserved prefix: %d", pid, lo)
+		}
+		for i := lo; i < hi; i++ {
+			if prev, dup := seen[i]; dup {
+				t.Fatalf("node %d in ranges of %d and %d", i, prev, pid)
+			}
+			seen[i] = pid
+		}
+	}
+}
+
+func TestVolatileAllocRecycles(t *testing.T) {
+	_, a := newArena(t, 8)
+	v := NewVolatileAlloc(a, 1, 4)
+	x, y := v.Alloc(), v.Alloc()
+	v.Free(x)
+	if got := v.Alloc(); got != x {
+		t.Fatalf("free node not preferred: %d", got)
+	}
+	_ = y
+	v.Alloc() // 3rd fresh
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhaustion not detected")
+		}
+	}()
+	v.Alloc()
+}
+
+func TestPersistentAllocBumpAndFree(t *testing.T) {
+	mem, a := newArena(t, 16)
+	port := mem.NewPort()
+	pa := NewPersistentAlloc(mem, port, a, 2, 10)
+	link := func(w uint64) uint32 { return uint32(w) }
+
+	n1 := pa.Alloc(port, link)
+	n2 := pa.Alloc(port, link)
+	if n1 != 2 || n2 != 3 {
+		t.Fatalf("bump: %d %d", n1, n2)
+	}
+	pa.Free(port, n1, uint64(pa.FreeHead(port)))
+	if pa.FreeHead(port) != n1 {
+		t.Fatalf("free head %d", pa.FreeHead(port))
+	}
+	if got := pa.Alloc(port, link); got != n1 {
+		t.Fatalf("free-list pop: %d", got)
+	}
+}
+
+func TestPersistentAllocFreeIsRepetitionSafe(t *testing.T) {
+	mem, a := newArena(t, 16)
+	port := mem.NewPort()
+	pa := NewPersistentAlloc(mem, port, a, 2, 10)
+	link := func(w uint64) uint32 { return uint32(w) }
+	n := pa.Alloc(port, link)
+	pa.Free(port, n, 0)
+	// A capsule repetition re-frees the same node: must be a no-op, not
+	// a self-loop.
+	pa.Free(port, n, uint64(n))
+	if got := pa.Alloc(port, link); got != n {
+		t.Fatalf("pop after double free: %d", got)
+	}
+	if got := pa.Alloc(port, link); got == n {
+		t.Fatal("self-loop: node allocated twice")
+	}
+}
+
+func TestPersistentAllocFreeCrashOrdering(t *testing.T) {
+	// The crash-consistency property the dequeue path depends on: if
+	// the free-list head update survives a crash, the link it points
+	// through must too.
+	mem, a := newArena(t, 16)
+	port := mem.NewPort()
+	pa := NewPersistentAlloc(mem, port, a, 2, 10)
+	link := func(w uint64) uint32 { return uint32(w) }
+	n1 := pa.Alloc(port, link)
+	n2 := pa.Alloc(port, link)
+	port.Fence() // allocator state durable
+	pa.Free(port, n1, 0)
+	port.Fence()
+	pa.Free(port, n2, uint64(n1)) // link n2 -> n1
+	mem.CrashLossy(true)          // everything pending evicted
+	if pa.FreeHead(port) == n2 {
+		if got := link(port.Read(a.Next(n2))); got != n1 {
+			t.Fatalf("head persisted without its link: next=%d", got)
+		}
+	}
+}

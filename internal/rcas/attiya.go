@@ -1,0 +1,141 @@
+package rcas
+
+import (
+	"fmt"
+
+	"delayfree/internal/pmem"
+)
+
+// Attiya is the recoverable CAS of Attiya, Ben Baruch and Hendler
+// (PODC 2018), with the sequence-number modification described in
+// Section 4 of the paper so that it, too, satisfies strict
+// linearizability and the Recover specification used by checkRecovery.
+//
+// Notifications are plain writes: notifier j records owner i's success
+// in the dedicated word N[i][j], so no CAS is needed on the
+// announcement path (the reason the paper's experiments found it
+// slightly faster than Algorithm 1), but recovery must scan a full row:
+// O(P) recovery time and O(P²) space, versus O(1) and O(P) for Space.
+//
+// Process i's own announcement lives on the diagonal N[i][i]; because
+// row i is written only with monotonically increasing sequence numbers
+// (each notifier writes in its own column in program order), a stale
+// notification can never masquerade as a newer one: CheckRecovery
+// filters by seq.
+type Attiya struct {
+	nproc    int
+	nIDs     int // 2P: real ids + aliases
+	nBase    pmem.Addr
+	rowWords uint64
+
+	// Durable enables manual-flush durability; see Space.Durable.
+	Durable bool
+}
+
+// NewAttiya allocates the notification matrix for P processes.
+func NewAttiya(mem *pmem.Memory, P int) *Attiya {
+	if P < 1 || P > MaxP {
+		panic(fmt.Sprintf("rcas: P=%d out of range [1,%d]", P, MaxP))
+	}
+	n := 2 * P
+	a := &Attiya{nproc: P, nIDs: n}
+	// Row i occupies contiguous words; rows are line-aligned so that
+	// processes do not share lines across rows.
+	rowWords := uint64((n + pmem.WordsPerLine - 1) / pmem.WordsPerLine * pmem.WordsPerLine)
+	a.nBase = mem.Alloc(uint64(n) * rowWords)
+	a.rowWords = rowWords
+	return a
+}
+
+// P returns the process count.
+func (a *Attiya) P() int { return a.nproc }
+
+// SetDurable implements CasSpace.
+func (a *Attiya) SetDurable(d bool) { a.Durable = d }
+
+// nAddr returns the address of N[owner][notifier].
+func (a *Attiya) nAddr(owner, notifier int) pmem.Addr {
+	return a.nBase + pmem.Addr(owner)*pmem.Addr(a.rowWords) + pmem.Addr(notifier)
+}
+
+// ReadFull implements CasSpace.
+func (a *Attiya) ReadFull(p *pmem.Port, x pmem.Addr) uint64 { return p.Read(x) }
+
+// notify records the success encoded in triple cur in the previous
+// owner's row, in this notifier's private column — a plain write.
+func (a *Attiya) notify(p *pmem.Port, cur uint64, notifier int) {
+	owner := Pid(cur)
+	if owner >= a.nproc {
+		return // anonymous alias: never recovered, nobody to notify
+	}
+	addr := a.nAddr(owner, notifier)
+	p.Write(addr, packA(Seq(cur), true))
+	if a.Durable {
+		p.Flush(addr)
+	}
+}
+
+// Cas implements CasSpace.
+func (a *Attiya) Cas(p *pmem.Port, x pmem.Addr, exp, newVal, seq uint64, pid int) bool {
+	cur := p.Read(x)
+	if cur != exp {
+		return false
+	}
+	a.notify(p, cur, pid)
+	ann := a.nAddr(pid, pid)
+	p.Write(ann, packA(seq, false)) // announce on the diagonal
+	if a.Durable {
+		p.Flush(ann) // drained by the CAS below
+	}
+	ok := p.CAS(x, exp, Pack(newVal, pid, seq))
+	if a.Durable {
+		p.Flush(x)
+	}
+	return ok
+}
+
+// CasAnon implements CasSpace.
+func (a *Attiya) CasAnon(p *pmem.Port, x pmem.Addr, exp, newVal, seq uint64, pid int) bool {
+	cur := p.Read(x)
+	if cur != exp {
+		return false
+	}
+	a.notify(p, cur, pid)
+	ok := p.CAS(x, exp, Pack(newVal, Alias(pid, a.nproc), seq))
+	if a.Durable && ok {
+		p.Flush(x)
+	}
+	return ok
+}
+
+// Recover implements CasSpace. If the process still owns the cell its
+// success is directly visible; otherwise the overwriter must have
+// notified it, so a row scan finds the largest recorded success.
+func (a *Attiya) Recover(p *pmem.Port, x pmem.Addr, pid int) (uint64, bool) {
+	cur := p.Read(x)
+	if Pid(cur) == pid {
+		return Seq(cur), true
+	}
+	announced, _ := unpackA(p.Read(a.nAddr(pid, pid)))
+	best := uint64(0)
+	found := false
+	for j := 0; j < a.nIDs; j++ {
+		if j == pid {
+			continue
+		}
+		s, f := unpackA(p.Read(a.nAddr(pid, j)))
+		if f && (!found || s > best) {
+			best, found = s, true
+		}
+	}
+	if found {
+		return best, true
+	}
+	return announced, false
+}
+
+// CheckRecovery implements CasSpace (Algorithm 2).
+func (a *Attiya) CheckRecovery(p *pmem.Port, x pmem.Addr, seq uint64, pid int) bool {
+	last, flag := a.Recover(p, x, pid)
+	return last >= seq && flag
+}

@@ -1,0 +1,243 @@
+package rcas_test
+
+import (
+	"testing"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+	"delayfree/internal/rcas"
+)
+
+// incEnv builds the paper's CAS-Read capsule (Algorithm 3) around a
+// recoverable fetch-and-increment: each process performs exactly n
+// successful increments of a shared cell, retrying failed CASes; after
+// any pattern of crashes the cell must hold exactly P*n.
+//
+//	pc0 (read capsule):  exp = x.ReadFull(); boundary -> pc1
+//	pc1 (CAS capsule):   seq = NextSeq()
+//	                     if crashed: ok = checkRecovery || Cas
+//	                     else:       ok = Cas
+//	                     if ok: remaining--; 0 ? finish : boundary pc0
+//	                     else boundary -> pc0
+type incEnv struct {
+	rt    *proc.Runtime
+	reg   *capsule.Registry
+	main  capsule.RoutineID
+	space rcas.CasSpace
+	x     pmem.Addr
+	bases []pmem.Addr
+}
+
+const (
+	slotRemain = 1
+	slotExp    = 2
+)
+
+func newIncEnv(P int, mode pmem.Mode, seed int64, mkSpace func(*pmem.Memory, int) rcas.CasSpace, compact bool) *incEnv {
+	mem := pmem.New(pmem.Config{Words: 1 << 18, Mode: mode, Checked: true, Seed: seed})
+	rt := proc.NewRuntime(mem, P)
+	if mode == pmem.Shared {
+		// Algorithm 1 is designed for the private model; in the shared
+		// cache model it needs the Izraelevitz construction (flush
+		// after every shared access) to be durably recoverable — see
+		// TestSharedModeWithoutFlushesIsUnsafe for what happens
+		// otherwise.
+		for i := 0; i < P; i++ {
+			rt.Proc(i).Mem().Auto = true
+		}
+	}
+	e := &incEnv{rt: rt, space: mkSpace(mem, P), x: mem.AllocLines(1)}
+	e.bases = capsule.AllocProcAreas(mem, P)
+	e.reg = capsule.NewRegistry()
+	e.main = registerFinc(e, compact)
+	return e
+}
+
+// registerFinc registers the fetch-and-increment routine sketched above.
+func registerFinc(e *incEnv, compact ...bool) capsule.RoutineID {
+	cp := len(compact) > 0 && compact[0]
+	return e.reg.Register("finc", cp,
+		func(c *capsule.Ctx) { // pc0: read capsule
+			if c.Local(slotRemain) == 0 {
+				c.Finish()
+				return
+			}
+			c.SetLocal(slotExp, e.space.ReadFull(c.Mem(), e.x))
+			c.Boundary(1)
+		},
+		func(c *capsule.Ctx) { // pc1: CAS capsule (Algorithm 3)
+			pid := c.P().ID()
+			seq := c.NextSeq()
+			exp := c.Local(slotExp)
+			var ok bool
+			if c.Crashed() {
+				ok = e.space.CheckRecovery(c.Mem(), e.x, seq, pid)
+				if !ok {
+					ok = e.space.Cas(c.Mem(), e.x, exp, rcas.Val(exp)+1, seq, pid)
+				}
+			} else {
+				ok = e.space.Cas(c.Mem(), e.x, exp, rcas.Val(exp)+1, seq, pid)
+			}
+			if ok {
+				c.SetLocal(slotRemain, c.Local(slotRemain)-1)
+			}
+			// Re-read for the next attempt happens back at pc0.
+			c.Boundary(0)
+		},
+	)
+}
+
+func (e *incEnv) install(n uint64) {
+	for i := 0; i < e.rt.P(); i++ {
+		capsule.Install(e.rt.Proc(i).Mem(), e.bases[i], e.reg, e.main, n)
+	}
+	p := e.rt.Proc(0).Mem()
+	rcas.InitCell(p, e.x, 0, rcas.Alias(0, e.rt.P()), 0)
+	p.FlushFence(e.x)
+}
+
+func (e *incEnv) run() {
+	e.rt.RunToCompletion(func(i int) proc.Program {
+		return func(p *proc.Proc) {
+			capsule.NewMachine(p, e.reg, e.bases[i]).Run()
+		}
+	})
+}
+
+func (e *incEnv) value() uint64 {
+	return rcas.Val(e.rt.Mem().VisibleWord(e.x))
+}
+
+var spaceMakers = map[string]func(*pmem.Memory, int) rcas.CasSpace{
+	"alg1":   func(m *pmem.Memory, P int) rcas.CasSpace { return rcas.NewSpace(m, P) },
+	"attiya": func(m *pmem.Memory, P int) rcas.CasSpace { return rcas.NewAttiya(m, P) },
+}
+
+func TestIncNoCrash(t *testing.T) {
+	for name, mk := range spaceMakers {
+		t.Run(name, func(t *testing.T) {
+			e := newIncEnv(4, pmem.Private, 1, mk, false)
+			e.install(25)
+			e.run()
+			if got := e.value(); got != 100 {
+				t.Fatalf("value=%d, want 100", got)
+			}
+		})
+	}
+}
+
+// TestIncCrashSweepSingle sweeps a deterministic crash over every step
+// of a single-process run, in both memory models and both frame
+// flavours, for both recoverable-CAS implementations. The count must be
+// exact: a lost CAS under-counts and a repeated CAS over-counts.
+func TestIncCrashSweepSingle(t *testing.T) {
+	for name, mk := range spaceMakers {
+		for _, mode := range []pmem.Mode{pmem.Private, pmem.Shared} {
+			for _, compact := range []bool{false, true} {
+				e := newIncEnv(1, mode, 1, mk, compact)
+				e.install(4)
+				e.run()
+				total := int64(e.rt.Proc(0).Mem().Stats.Steps)
+				for k := int64(1); k <= total; k++ {
+					e := newIncEnv(1, mode, k, mk, compact)
+					e.rt.SystemCrashMode = mode == pmem.Shared
+					e.install(4)
+					e.rt.Proc(0).ArmCrashAfter(k)
+					e.run()
+					if got := e.value(); got != 4 {
+						t.Fatalf("%s mode=%v compact=%v crash@%d: value=%d, want 4",
+							name, mode, compact, k, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncConcurrentCrashStorm runs 4 processes with randomized crash
+// injection (private model: independent process crashes) and checks the
+// final count is exact despite contention and repetition.
+func TestIncConcurrentCrashStorm(t *testing.T) {
+	for name, mk := range spaceMakers {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				const P, n = 4, 12
+				e := newIncEnv(P, pmem.Private, seed, mk, false)
+				e.install(n)
+				for i := 0; i < P; i++ {
+					e.rt.Proc(i).AutoCrash(seed*100+int64(i), 40, 400)
+				}
+				e.run()
+				if got := e.value(); got != P*n {
+					t.Fatalf("%s seed=%d: value=%d, want %d", name, seed, got, P*n)
+				}
+			}
+		})
+	}
+}
+
+// TestSharedModeWithoutFlushesIsUnsafe documents why the durability
+// transformations exist: running the (private-model) recoverable CAS in
+// the shared-cache model *without* the Izraelevitz construction or
+// manual flushes loses or duplicates operations under system crashes —
+// e.g. the CAS's cache line gets evicted (persisting it) while the
+// announcement line is dropped, so recovery re-executes it. The
+// simulator must be able to produce such an execution; if it cannot,
+// it is not adversarial enough to validate the transformations.
+func TestSharedModeWithoutFlushesIsUnsafe(t *testing.T) {
+	mk := spaceMakers["alg1"]
+	violated := false
+	for k := int64(1); k <= 120 && !violated; k++ {
+		mem := pmem.New(pmem.Config{Words: 1 << 18, Mode: pmem.Shared, Checked: true, Seed: k})
+		rt := proc.NewRuntime(mem, 1)
+		rt.SystemCrashMode = true
+		e := &incEnv{rt: rt, space: mk(mem, 1), x: mem.AllocLines(1)}
+		e.bases = capsule.AllocProcAreas(mem, 1)
+		e.reg = capsule.NewRegistry()
+		e.main = registerFinc(e)
+		e.install(4)
+		rt.Proc(0).ArmCrashAfter(k)
+		e.run()
+		if got := e.value(); got != 4 {
+			violated = true
+		}
+	}
+	if !violated {
+		t.Fatal("expected at least one exactness violation without flushes; the crash simulation is not adversarial enough")
+	}
+}
+
+// TestIncSharedSystemCrashStorm drives full-system crashes from outside
+// while 3 processes increment in the shared-cache model with the
+// Izraelevitz construction (auto flush) making every access durable.
+func TestIncSharedSystemCrashStorm(t *testing.T) {
+	for name, mk := range spaceMakers {
+		t.Run(name, func(t *testing.T) {
+			const P, n = 3, 30
+			e := newIncEnv(P, pmem.Shared, 42, mk, false)
+			for i := 0; i < P; i++ {
+				e.rt.Proc(i).Mem().Auto = true
+			}
+			e.install(n)
+			done := make(chan struct{})
+			go func() {
+				e.run()
+				close(done)
+			}()
+			crashes := 0
+			for {
+				select {
+				case <-done:
+					if got := e.value(); got != P*n {
+						t.Errorf("%s: value=%d, want %d (system crashes=%d)", name, got, P*n, crashes)
+					}
+					return
+				default:
+					e.rt.CrashSystem()
+					crashes++
+				}
+			}
+		})
+	}
+}

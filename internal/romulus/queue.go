@@ -1,0 +1,135 @@
+package romulus
+
+// Queue is a FIFO queue stored entirely inside the TM heap, the way the
+// paper's Romulus comparator wraps the Michael–Scott workload in
+// transactions. It is a circular buffer — under a combining TM the
+// linked structure buys nothing, and Romulus' own queue benchmarks use
+// sequential structures under the writer lock.
+//
+// Detectability: every operation records ⟨seq, kind, ok, value⟩ in the
+// calling thread's result slot *within the same transaction*, so after
+// a crash the slot (in whichever twin is consistent) tells the thread
+// whether its last operation executed and what it returned.
+//
+// Logical layout: [0]=head, [1]=tail; result slots at line 1+, one line
+// per thread; the ring buffer after them.
+type Queue struct {
+	tm  *TM
+	cap uint64
+	buf uint64 // logical base of the ring
+	res uint64 // logical base of the result slots
+	P   int
+}
+
+// Result-slot words.
+const (
+	resSeq = 0
+	resOp  = 1 // 1 enqueue, 2 dequeue
+	resOK  = 2
+	resVal = 3
+)
+
+// QueueWords returns the TM heap size needed for a queue of the given
+// capacity and thread count; pass it to New.
+func QueueWords(capacity uint64, P int) uint64 {
+	return 8 + uint64(P)*8 + capacity + 8
+}
+
+// NewQueue lays a queue out inside tm. The TM must have been created
+// with at least QueueWords(capacity, P) words.
+func NewQueue(tm *TM, capacity uint64, P int) *Queue {
+	if QueueWords(capacity, P) > tm.Size() {
+		panic("romulus: TM heap too small for queue")
+	}
+	return &Queue{tm: tm, cap: capacity, res: 8, buf: 8 + uint64(P)*8, P: P}
+}
+
+// QHandle is one thread's access to the queue.
+type QHandle struct {
+	q   *Queue
+	h   *Handle
+	seq uint64
+}
+
+// NewHandle creates thread pid's queue handle over its TM handle.
+func (q *Queue) NewHandle(h *Handle) *QHandle {
+	return &QHandle{q: q, h: h}
+}
+
+func (q *Queue) slot(pid int) uint64 { return q.res + uint64(pid)*8 }
+
+// Enqueue appends v, returning false if the ring was full.
+func (h *QHandle) Enqueue(v uint64) bool {
+	q := h.q
+	h.seq++
+	seq := h.seq
+	ok := false
+	h.h.Update(func(tx *Tx) {
+		hd := tx.Read(0)
+		tl := tx.Read(1)
+		s := q.slot(h.h.pid)
+		tx.Write(s+resSeq, seq)
+		tx.Write(s+resOp, 1)
+		if tl-hd == q.cap {
+			tx.Write(s+resOK, 0)
+			return
+		}
+		tx.Write(q.buf+tl%q.cap, v)
+		tx.Write(1, tl+1)
+		tx.Write(s+resOK, 1)
+		tx.Write(s+resVal, v)
+		ok = true
+	})
+	return ok
+}
+
+// Dequeue removes the head value; ok is false when the queue was empty.
+func (h *QHandle) Dequeue() (v uint64, ok bool) {
+	q := h.q
+	h.seq++
+	seq := h.seq
+	h.h.Update(func(tx *Tx) {
+		hd := tx.Read(0)
+		tl := tx.Read(1)
+		s := q.slot(h.h.pid)
+		tx.Write(s+resSeq, seq)
+		tx.Write(s+resOp, 2)
+		if hd == tl {
+			tx.Write(s+resOK, 0)
+			return
+		}
+		v = tx.Read(q.buf + hd%q.cap)
+		tx.Write(0, hd+1)
+		tx.Write(s+resOK, 1)
+		tx.Write(s+resVal, v)
+		ok = true
+	})
+	return v, ok
+}
+
+// LastOp reads thread pid's detectable result slot (quiesced): the
+// sequence number, operation kind, success flag and value of the last
+// transaction that committed durably.
+func (q *Queue) LastOp(h *Handle) (seq, op, okFlag, val uint64) {
+	s := q.slot(h.pid)
+	return q.tm.ReadWord(h.port, s+resSeq),
+		q.tm.ReadWord(h.port, s+resOp),
+		q.tm.ReadWord(h.port, s+resOK),
+		q.tm.ReadWord(h.port, s+resVal)
+}
+
+// Len returns the current length (quiesced).
+func (q *Queue) Len(h *Handle) int {
+	return int(q.tm.ReadWord(h.port, 1) - q.tm.ReadWord(h.port, 0))
+}
+
+// Seed pre-fills the queue before concurrent use.
+func (q *Queue) Seed(h *Handle, n uint64, gen func(i uint64) uint64) {
+	h.Update(func(tx *Tx) {
+		tl := tx.Read(1)
+		for i := uint64(0); i < n; i++ {
+			tx.Write(q.buf+(tl+i)%q.cap, gen(i))
+		}
+		tx.Write(1, tl+n)
+	})
+}

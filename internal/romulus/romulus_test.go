@@ -1,0 +1,278 @@
+package romulus
+
+import (
+	"testing"
+
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+)
+
+func newTM(t testing.TB, P int, size uint64, mode pmem.Mode, seed int64) (*proc.Runtime, *TM) {
+	t.Helper()
+	mem := pmem.New(pmem.Config{
+		Words:   size*4 + 1<<14,
+		Mode:    mode,
+		Checked: true,
+		Seed:    seed,
+	})
+	rt := proc.NewRuntime(mem, P)
+	tm := New(mem, rt.Proc(0).Mem(), size, P)
+	return rt, tm
+}
+
+func TestSingleUpdateDurable(t *testing.T) {
+	rt, tm := newTM(t, 1, 64, pmem.Shared, 1)
+	h := tm.NewHandle(rt.Proc(0).Mem(), 0)
+	h.Update(func(tx *Tx) {
+		tx.Write(3, 42)
+	})
+	// Both twins must hold the value durably.
+	mem := rt.Mem()
+	if got := mem.PersistedWord(tm.main + 3); got != 42 {
+		t.Fatalf("main persisted %d", got)
+	}
+	if got := mem.PersistedWord(tm.back + 3); got != 42 {
+		t.Fatalf("back persisted %d", got)
+	}
+	if got := mem.PersistedWord(tm.state); got != stIdle {
+		t.Fatalf("state %d", got)
+	}
+}
+
+func TestReadOnlySeesUpdates(t *testing.T) {
+	rt, tm := newTM(t, 1, 64, pmem.Private, 1)
+	h := tm.NewHandle(rt.Proc(0).Mem(), 0)
+	h.Update(func(tx *Tx) { tx.Write(5, 7) })
+	var got uint64
+	h.ReadOnly(func(tx *Tx) { got = tx.Read(5) })
+	if got != 7 {
+		t.Fatalf("read %d", got)
+	}
+}
+
+func TestRecoverFromMutating(t *testing.T) {
+	rt, tm := newTM(t, 1, 64, pmem.Shared, 1)
+	port := rt.Proc(0).Mem()
+	h := tm.NewHandle(port, 0)
+	h.Update(func(tx *Tx) { tx.Write(2, 10) })
+	// Simulate a crash mid-mutation: state=MUTATING persisted, main torn.
+	port.Write(tm.state, stMutating)
+	port.FlushFence(tm.state)
+	port.Write(tm.main+2, 999) // torn write
+	port.FlushFence(tm.main + 2)
+	rt.Mem().CrashLossy(true)
+	tm.Recover(port)
+	if got := tm.ReadWord(port, 2); got != 10 {
+		t.Fatalf("after MUTATING recovery main=%d, want 10 (restored from back)", got)
+	}
+}
+
+func TestRecoverFromCopying(t *testing.T) {
+	rt, tm := newTM(t, 1, 64, pmem.Shared, 1)
+	port := rt.Proc(0).Mem()
+	h := tm.NewHandle(port, 0)
+	h.Update(func(tx *Tx) { tx.Write(2, 10) })
+	// Simulate a crash mid-copy: main is consistent (holds 20), back
+	// stale.
+	port.Write(tm.main+2, 20)
+	port.FlushFence(tm.main + 2)
+	port.Write(tm.state, stCopying)
+	port.FlushFence(tm.state)
+	rt.Mem().CrashLossy(true)
+	tm.Recover(port)
+	if got := port.Read(tm.back + 2); got != 20 {
+		t.Fatalf("after COPYING recovery back=%d, want 20", got)
+	}
+	if got := tm.ReadWord(port, 2); got != 20 {
+		t.Fatalf("main=%d", got)
+	}
+}
+
+func TestTornUpdateNeverVisibleAfterCrash(t *testing.T) {
+	// Sweep crashes across an update transaction: after recovery the
+	// two counters it maintains must always be equal (the TM's atomic
+	// multi-word invariant).
+	probe := func(crashAt int64, seed int64) {
+		mem := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Shared, Checked: true, Seed: seed})
+		rt := proc.NewRuntime(mem, 1)
+		rt.SystemCrashMode = true
+		tm := New(mem, rt.Proc(0).Mem(), 64, 1)
+		if crashAt > 0 {
+			rt.Proc(0).ArmCrashAfter(crashAt)
+		}
+		rt.RunToCompletion(func(int) proc.Program {
+			return func(p *proc.Proc) {
+				port := p.Mem()
+				if p.Crashed() {
+					tm.Recover(port)
+					return
+				}
+				h := tm.NewHandle(port, 0)
+				for i := 0; i < 3; i++ {
+					h.Update(func(tx *Tx) {
+						a := tx.Read(0)
+						tx.Write(0, a+1)
+						tx.Write(1, a+1)
+					})
+				}
+			}
+		})
+		port := rt.Proc(0).Mem()
+		rt.Proc(0).Disarm()
+		a, b := tm.ReadWord(port, 0), tm.ReadWord(port, 1)
+		if a != b {
+			t.Fatalf("crash@%d: torn transaction visible: %d != %d", crashAt, a, b)
+		}
+	}
+	probe(0, 1)
+	// Measure a crash-free run's steps, then sweep.
+	mem := pmem.New(pmem.Config{Words: 1 << 14, Mode: pmem.Shared, Checked: true})
+	rt := proc.NewRuntime(mem, 1)
+	tm := New(mem, rt.Proc(0).Mem(), 64, 1)
+	rt.RunToCompletion(func(int) proc.Program {
+		return func(p *proc.Proc) {
+			h := tm.NewHandle(p.Mem(), 0)
+			for i := 0; i < 3; i++ {
+				h.Update(func(tx *Tx) {
+					a := tx.Read(0)
+					tx.Write(0, a+1)
+					tx.Write(1, a+1)
+				})
+			}
+		}
+	})
+	total := int64(rt.Proc(0).Mem().Stats.Steps)
+	for k := int64(1); k <= total; k++ {
+		probe(k, k)
+	}
+}
+
+func TestFlatCombiningBatches(t *testing.T) {
+	// With P threads publishing concurrently, the combiner should
+	// execute transactions from other threads: total persist cycles
+	// (state-word round trips) should be below 2 per transaction.
+	const P, ops = 4, 50
+	rt, tm := newTM(t, P, 256, pmem.Private, 1)
+	rt.RunToCompletion(func(i int) proc.Program {
+		return func(p *proc.Proc) {
+			h := tm.NewHandle(p.Mem(), i)
+			for k := 0; k < ops; k++ {
+				h.Update(func(tx *Tx) {
+					tx.Write(uint64(8+i), tx.Read(uint64(8+i))+1)
+				})
+			}
+		}
+	})
+	port := rt.Proc(0).Mem()
+	for i := 0; i < P; i++ {
+		if got := tm.ReadWord(port, uint64(8+i)); got != ops {
+			t.Fatalf("thread %d counter %d, want %d", i, got, ops)
+		}
+	}
+}
+
+func TestQueueSequential(t *testing.T) {
+	rt, tm := newTM(t, 1, QueueWords(128, 1), pmem.Private, 1)
+	q := NewQueue(tm, 128, 1)
+	h := q.NewHandle(tm.NewHandle(rt.Proc(0).Mem(), 0))
+	if _, ok := h.Dequeue(); ok {
+		t.Fatal("fresh queue not empty")
+	}
+	for i := uint64(1); i <= 50; i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	for i := uint64(1); i <= 50; i++ {
+		v, ok := h.Dequeue()
+		if !ok || v != i {
+			t.Fatalf("dequeue %d: (%d,%v)", i, v, ok)
+		}
+	}
+}
+
+func TestQueueFull(t *testing.T) {
+	rt, tm := newTM(t, 1, QueueWords(8, 1), pmem.Private, 1)
+	q := NewQueue(tm, 8, 1)
+	h := q.NewHandle(tm.NewHandle(rt.Proc(0).Mem(), 0))
+	for i := uint64(0); i < 8; i++ {
+		if !h.Enqueue(i) {
+			t.Fatalf("enqueue %d failed", i)
+		}
+	}
+	if h.Enqueue(99) {
+		t.Fatal("enqueue into full ring succeeded")
+	}
+}
+
+func TestQueueConcurrentPairs(t *testing.T) {
+	const P, pairs = 4, 100
+	rt, tm := newTM(t, P, QueueWords(1024, P), pmem.Private, 1)
+	q := NewQueue(tm, 1024, P)
+	results := make([][]uint64, P)
+	rt.RunToCompletion(func(i int) proc.Program {
+		return func(p *proc.Proc) {
+			h := q.NewHandle(tm.NewHandle(p.Mem(), i))
+			for k := 0; k < pairs; k++ {
+				if !h.Enqueue(uint64(i)<<32 | uint64(k)) {
+					t.Errorf("proc %d: full", i)
+					return
+				}
+				v, ok := h.Dequeue()
+				if !ok {
+					t.Errorf("proc %d: empty", i)
+					return
+				}
+				results[i] = append(results[i], v)
+			}
+		}
+	})
+	seen := map[uint64]bool{}
+	for i := range results {
+		for _, v := range results[i] {
+			if seen[v] {
+				t.Fatalf("duplicate %x", v)
+			}
+			seen[v] = true
+		}
+	}
+	if len(seen) != P*pairs {
+		t.Fatalf("consumed %d of %d", len(seen), P*pairs)
+	}
+	h := tm.NewHandle(rt.Proc(0).Mem(), 0)
+	if got := q.Len(h); got != 0 {
+		t.Fatalf("leftover %d", got)
+	}
+}
+
+func TestQueueDetectability(t *testing.T) {
+	// After a crash, the result slot in the consistent twin reports the
+	// last durable operation.
+	rt, tm := newTM(t, 1, QueueWords(64, 1), pmem.Shared, 5)
+	q := NewQueue(tm, 64, 1)
+	port := rt.Proc(0).Mem()
+	th := tm.NewHandle(port, 0)
+	h := q.NewHandle(th)
+	h.Enqueue(123)
+	rt.Mem().CrashLossy(false) // drop everything unflushed
+	tm.Recover(port)
+	seq, op, okf, val := q.LastOp(th)
+	if seq != 1 || op != 1 || okf != 1 || val != 123 {
+		t.Fatalf("detectable slot after crash: seq=%d op=%d ok=%d val=%d", seq, op, okf, val)
+	}
+}
+
+func TestQueueSeed(t *testing.T) {
+	rt, tm := newTM(t, 1, QueueWords(256, 1), pmem.Private, 1)
+	q := NewQueue(tm, 256, 1)
+	th := tm.NewHandle(rt.Proc(0).Mem(), 0)
+	h := q.NewHandle(th)
+	q.Seed(th, 100, func(i uint64) uint64 { return i * 2 })
+	if got := q.Len(th); got != 100 {
+		t.Fatalf("len=%d", got)
+	}
+	v, ok := h.Dequeue()
+	if !ok || v != 0 {
+		t.Fatalf("first seeded value (%d,%v)", v, ok)
+	}
+}

@@ -1,0 +1,240 @@
+// Package wcas implements Section 8 of the paper: M *writable* CAS
+// objects built from M+Θ(P²) ordinary CAS objects (Algorithm 8, after
+// Aghazadeh, Golab and Woelfel), with constant computation delay.
+//
+// The construction eliminates Write/CAS races by indirection: object j's
+// value lives in slot B[Ptr[j]]; Read and CAS resolve the slot through a
+// hazard-pointer-style announcement and operate on it with plain CAS; a
+// Write installs its value in a private free slot and swings Ptr[j] to
+// it — so a racy Write never touches the word a concurrent CAS targets,
+// and after this transformation every shared write in a program can be
+// expressed as a CAS, which is what lets the paper's persistent
+// simulations cover programs with writes (Section 4).
+//
+// Slot recycling follows the paper's amortized scheme: each process owns
+// 2P slots; when its free list empties, it scans the announcement array
+// (helping unresolved announcements along the way), quarantines
+// announced slots, and reclaims the rest — O(P) work at most once per P
+// writes.
+//
+// One deviation: Ptr entries carry an installation tag
+// (⟨slot:32 | tag:32⟩) so a stale Write's swing CAS cannot succeed after
+// its expected slot has been recycled and reinstalled (the ABA defence
+// the original obtains from its more elaborate ownership argument).
+package wcas
+
+import (
+	"fmt"
+
+	"delayfree/internal/pmem"
+)
+
+// Announcement packing: help:1 | seq:31 | index:32.
+func packAnn(index uint32, seq uint32, help bool) uint64 {
+	w := uint64(index) | uint64(seq&0x7FFFFFFF)<<32
+	if help {
+		w |= 1 << 63
+	}
+	return w
+}
+
+func annIndex(w uint64) uint32 { return uint32(w) }
+func annSeq(w uint64) uint32   { return uint32(w>>32) & 0x7FFFFFFF }
+func annHelp(w uint64) bool    { return w>>63 == 1 }
+
+// Status packing: announced:1 | owner:32.
+func packStatus(owner int, announced bool) uint64 {
+	w := uint64(uint32(owner))
+	if announced {
+		w |= 1 << 62
+	}
+	return w
+}
+
+func statusOwner(w uint64) int      { return int(uint32(w)) }
+func statusAnnounced(w uint64) bool { return w>>62&1 == 1 }
+
+// Ptr packing: slot:32 | tag:32.
+func packPtr(slot, tag uint32) uint64 { return uint64(slot) | uint64(tag)<<32 }
+func ptrSlot(w uint64) uint32         { return uint32(w) }
+func ptrTag(w uint64) uint32          { return uint32(w >> 32) }
+
+// Array is a set of M writable CAS objects shared by P processes.
+type Array struct {
+	M, P   int
+	slots  int // M + 2P²
+	b      pmem.Addr
+	ptr    pmem.Addr
+	ann    pmem.Addr // A[P], one line each
+	status pmem.Addr
+}
+
+// New creates the array, with object j initialized to init(j).
+// Slot j initially backs object j; each process additionally owns 2P
+// private slots.
+func New(mem *pmem.Memory, port *pmem.Port, M, P int, init func(j int) uint64) *Array {
+	a := &Array{M: M, P: P, slots: M + 2*P*P}
+	a.b = mem.Alloc(uint64(a.slots))
+	a.ptr = mem.Alloc(uint64(M))
+	a.ann = mem.AllocLines(uint64(P))
+	a.status = mem.Alloc(uint64(a.slots))
+	for j := 0; j < M; j++ {
+		port.Write(a.b+pmem.Addr(j), init(j))
+		port.Write(a.ptr+pmem.Addr(j), packPtr(uint32(j), 0))
+	}
+	return a
+}
+
+func (a *Array) annAddr(p int) pmem.Addr { return a.ann + pmem.Addr(p)*pmem.WordsPerLine }
+
+// Handle is one process's access to the array, carrying its slot pool.
+// Not safe for concurrent use.
+type Handle struct {
+	a       *Array
+	port    *pmem.Port
+	pid     int
+	freePtr uint32
+	free    []uint32
+	retired []uint32
+	seq     uint32
+}
+
+// NewHandle creates process pid's handle. The process's 2P private
+// slots are M + pid*2P ... M + (pid+1)*2P − 1.
+func (a *Array) NewHandle(port *pmem.Port, pid int) *Handle {
+	h := &Handle{a: a, port: port, pid: pid}
+	base := uint32(a.M + pid*2*a.P)
+	h.freePtr = base
+	for s := base + 1; s < base+uint32(2*a.P); s++ {
+		h.free = append(h.free, s)
+	}
+	return h
+}
+
+// getObjectIdx resolves object j to its current slot, protected by the
+// announcement (Algorithm 8, getObjectIdx).
+func (h *Handle) getObjectIdx(j int) uint32 {
+	a, p := h.a, h.port
+	aa := a.annAddr(h.pid)
+	cur := p.Read(aa)
+	h.seq = annSeq(cur) + 1
+	want := packAnn(uint32(j), h.seq, true)
+	if !p.CAS(aa, cur, want) {
+		panic("wcas: announce CAS failed; announcement protocol violated")
+	}
+	ptr := ptrSlot(p.Read(a.ptr + pmem.Addr(j)))
+	p.CAS(aa, want, packAnn(ptr, h.seq, false))
+	// Either we resolved it or a helper did; the index is now stable.
+	return annIndex(p.Read(aa))
+}
+
+// release clears the hazard so the resolved slot can be reclaimed once
+// the operation is done.
+func (h *Handle) release() {
+	a, p := h.a, h.port
+	aa := a.annAddr(h.pid)
+	cur := p.Read(aa)
+	h.seq++
+	p.CAS(aa, cur, packAnn(0xFFFFFFFF, h.seq, false))
+}
+
+// Read returns the value of object j.
+func (h *Handle) Read(j int) uint64 {
+	h.checkObj(j)
+	idx := h.getObjectIdx(j)
+	v := h.port.Read(h.a.b + pmem.Addr(idx))
+	h.release()
+	return v
+}
+
+// CAS performs a compare-and-swap on object j.
+func (h *Handle) CAS(j int, old, new uint64) bool {
+	h.checkObj(j)
+	idx := h.getObjectIdx(j)
+	ok := h.port.CAS(h.a.b+pmem.Addr(idx), old, new)
+	h.release()
+	return ok
+}
+
+// Write sets object j to v unconditionally (Algorithm 8, Write): the
+// value is installed in a private slot and Ptr[j] is swung to it. If the
+// swing loses to a concurrent Write, this write linearizes immediately
+// before the winner.
+func (h *Handle) Write(j int, v uint64) {
+	h.checkObj(j)
+	a, p := h.a, h.port
+	newPtr := h.freePtr
+	slotAddr := a.b + pmem.Addr(newPtr)
+	if !p.CAS(slotAddr, p.Read(slotAddr), v) {
+		panic("wcas: private slot CAS failed")
+	}
+	pw := p.Read(a.ptr + pmem.Addr(j))
+	if p.CAS(a.ptr+pmem.Addr(j), pw, packPtr(newPtr, ptrTag(pw)+1)) {
+		h.freePtr = h.recycle(ptrSlot(pw))
+	}
+	// On failure the write linearizes before the interfering write;
+	// the private slot stays ours and is reused next time.
+}
+
+func (h *Handle) checkObj(j int) {
+	if j < 0 || j >= h.a.M {
+		panic(fmt.Sprintf("wcas: object %d out of range [0,%d)", j, h.a.M))
+	}
+}
+
+// recycle retires a slot this process just took ownership of and
+// returns a fresh free slot, scanning announcements when the free list
+// is empty (Algorithm 8, recycle).
+func (h *Handle) recycle(old uint32) uint32 {
+	a, p := h.a, h.port
+	h.retired = append(h.retired, old)
+	sa := a.status + pmem.Addr(old)
+	if !p.CAS(sa, p.Read(sa), packStatus(h.pid, false)) {
+		panic("wcas: status CAS failed")
+	}
+	if len(h.free) == 0 {
+		var annList []uint32
+		for j := 0; j < a.P; j++ {
+			aj := a.annAddr(j)
+			w := p.Read(aj)
+			if annHelp(w) {
+				// Help resolve the pending announcement.
+				ptr := ptrSlot(p.Read(a.ptr + pmem.Addr(annIndex(w))))
+				p.CAS(aj, w, packAnn(ptr, annSeq(w), false))
+			}
+			w = p.Read(aj)
+			idx := annIndex(w)
+			if !annHelp(w) && idx < uint32(a.slots) {
+				st := a.status + pmem.Addr(idx)
+				sw := p.Read(st)
+				if statusOwner(sw) == h.pid && !statusAnnounced(sw) {
+					annList = append(annList, idx)
+					if !p.CAS(st, sw, packStatus(h.pid, true)) {
+						panic("wcas: status mark CAS failed")
+					}
+				}
+			}
+		}
+		var keep []uint32
+		for _, ptr := range h.retired {
+			if statusAnnounced(p.Read(a.status + pmem.Addr(ptr))) {
+				keep = append(keep, ptr)
+			} else {
+				h.free = append(h.free, ptr)
+			}
+		}
+		h.retired = keep
+		for _, idx := range annList {
+			st := a.status + pmem.Addr(idx)
+			if !p.CAS(st, p.Read(st), packStatus(h.pid, false)) {
+				panic("wcas: status clear CAS failed")
+			}
+		}
+	}
+	if len(h.free) == 0 {
+		panic("wcas: slot pool exhausted; 2P slots per process should always suffice")
+	}
+	s := h.free[len(h.free)-1]
+	h.free = h.free[:len(h.free)-1]
+	return s
+}
