@@ -66,6 +66,11 @@ func BenchmarkFig6(b *testing.B) { benchFigureFamily(b, "6") }
 // Michael–Scott queue.
 func BenchmarkFig7(b *testing.B) { benchFigureFamily(b, "7") }
 
+// BenchmarkMap sweeps the recoverable hash map workload family (the
+// repository's second workload beside the queues): volatile baseline vs
+// pmap vs sharded pmap under the default read-heavy mix.
+func BenchmarkMap(b *testing.B) { benchFigureFamily(b, "map") }
+
 // BenchmarkRCas is ablation A1: the paper's Algorithm 1 recoverable CAS
 // vs the Attiya et al. variant (which the paper's experiments used), on
 // an uncontended fetch-and-increment.

@@ -8,6 +8,7 @@
 //	benchfigs -fig all               # everything
 //	benchfigs -fig recovery          # recovery-latency study
 //	benchfigs -fig 6 -threads 8 -pairs 50000 -seed-nodes 1000000
+//	benchfigs -fig map -read-pct 90  # recoverable hash map workload family
 //
 // Output is one table per figure: thread counts down the rows, queue
 // variants across the columns, throughput in Mops/s, followed by the
@@ -26,13 +27,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, recovery, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, map, recovery, or all")
 	maxThreads := flag.Int("threads", 8, "maximum thread count for the sweep (paper: 8)")
 	pairs := flag.Int("pairs", 20000, "enqueue-dequeue pairs per thread")
 	seedNodes := flag.Uint("seed-nodes", 200000, "initial queue size in nodes (paper: 1M)")
 	flushDelay := flag.Int("flush-delay", 250, "simulated flush latency (spin iterations)")
 	fenceDelay := flag.Int("fence-delay", 120, "simulated fence latency (spin iterations)")
 	attiya := flag.Bool("attiya", false, "use the Attiya et al. recoverable CAS (as the paper's experiments did)")
+	readPct := flag.Int("read-pct", 90, "map kinds: percentage of Get operations")
+	mapKeys := flag.Int("map-keys", 2048, "map kinds: key-space size (table sized for load factor 1/2)")
+	mapShards := flag.Int("map-shards", 4, "map kinds: segments of the pmap-sharded kind")
 	flag.Parse()
 
 	cfg := harness.DefaultConfig()
@@ -41,6 +45,9 @@ func main() {
 	cfg.FlushDelay = *flushDelay
 	cfg.FenceDelay = *fenceDelay
 	cfg.Attiya = *attiya
+	cfg.ReadPct = *readPct
+	cfg.MapKeys = *mapKeys
+	cfg.MapShards = *mapShards
 
 	threads := make([]int, 0, *maxThreads)
 	for t := 1; t <= *maxThreads; t++ {

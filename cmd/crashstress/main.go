@@ -3,11 +3,15 @@
 // independent process crashes in the private model and full-system
 // crashes in the shared-cache model) and checks exactness — every
 // process completes every operation exactly once, nothing is lost or
-// duplicated, the queue drains empty.
+// duplicated, the queue drains empty. With -workload pmap (or all) it
+// additionally stresses the recoverable hash map: scripted
+// Put/Delete/Get sequences under repeated full-system crashes, with the
+// recovered map contents checked against a shadow model.
 //
 // Usage:
 //
 //	crashstress -rounds 20 -procs 4 -pairs 50 -seed 1
+//	crashstress -workload pmap -rounds 4 -map-crashes 500
 //
 // Exit status is non-zero if any round finds a violation.
 package main
@@ -18,6 +22,7 @@ import (
 	"os"
 
 	"delayfree/internal/capsule"
+	"delayfree/internal/pmap"
 	"delayfree/internal/pmem"
 	"delayfree/internal/pqueue"
 	"delayfree/internal/proc"
@@ -38,24 +43,64 @@ var variants = []variant{
 }
 
 func main() {
+	workload := flag.String("workload", "all", "which workloads to stress: queues, pmap, or all")
 	rounds := flag.Int("rounds", 10, "rounds per variant per failure model")
 	procs := flag.Int("procs", 4, "processes")
 	pairs := flag.Uint64("pairs", 30, "enqueue-dequeue pairs per process")
 	seed := flag.Int64("seed", 1, "base RNG seed")
-	minGap := flag.Int64("min-gap", 120, "minimum instrumented steps between crashes")
-	maxGap := flag.Int64("max-gap", 2500, "maximum instrumented steps between crashes")
+	minGap := flag.Int64("min-gap", 120, "queue rounds: minimum instrumented steps between crashes")
+	maxGap := flag.Int64("max-gap", 2500, "queue rounds: maximum instrumented steps between crashes")
+	mapCrashes := flag.Int("map-crashes", 250, "full-system crashes per pmap round")
+	mapOps := flag.Int("map-ops", 300, "pmap script length per process")
+	mapMinGap := flag.Int64("map-min-gap", 0, "pmap rounds: minimum crash gap; 0 derives a livelock-safe gap from the geometry")
+	mapMaxGap := flag.Int64("map-max-gap", 0, "pmap rounds: maximum crash gap; 0 derives it")
 	flag.Parse()
 
+	switch *workload {
+	case "queues", "pmap", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q (want queues, pmap, or all)\n", *workload)
+		os.Exit(2)
+	}
+
 	failures := 0
-	for _, v := range variants {
+	if *workload == "queues" || *workload == "all" {
+		for _, v := range variants {
+			for _, shared := range []bool{false, true} {
+				for r := 0; r < *rounds; r++ {
+					s := *seed + int64(r)*7919
+					if err := round(v, shared, *procs, *pairs, s, *minGap, *maxGap); err != nil {
+						failures++
+						fmt.Printf("FAIL %-16s shared=%-5v seed=%-8d %v\n", v.name, shared, s, err)
+					} else {
+						fmt.Printf("ok   %-16s shared=%-5v seed=%-8d\n", v.name, shared, s)
+					}
+				}
+			}
+		}
+	}
+	if *workload == "pmap" || *workload == "all" {
 		for _, shared := range []bool{false, true} {
 			for r := 0; r < *rounds; r++ {
-				s := *seed + int64(r)*7919
-				if err := round(v, shared, *procs, *pairs, s, *minGap, *maxGap); err != nil {
+				s := *seed + int64(r)*104729
+				rep, err := pmap.CrashStress(pmap.StressConfig{
+					P:          *procs,
+					Shards:     2,
+					Buckets:    256,
+					OpsPerProc: *mapOps,
+					Crashes:    *mapCrashes,
+					Seed:       s,
+					Shared:     shared,
+					Opt:        shared,
+					MinGap:     *mapMinGap,
+					MaxGap:     *mapMaxGap,
+				})
+				if err != nil {
 					failures++
-					fmt.Printf("FAIL %-16s shared=%-5v seed=%-8d %v\n", v.name, shared, s, err)
+					fmt.Printf("FAIL %-16s shared=%-5v seed=%-8d %v\n", "pmap", shared, s, err)
 				} else {
-					fmt.Printf("ok   %-16s shared=%-5v seed=%-8d\n", v.name, shared, s)
+					fmt.Printf("ok   %-16s shared=%-5v seed=%-8d crashes=%-6d ops=%d\n",
+						"pmap", shared, s, rep.Crashes, rep.Ops)
 				}
 			}
 		}

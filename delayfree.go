@@ -18,7 +18,12 @@
 //   - CasSpace / NewRCas / NewAttiyaRCas — recoverable CAS (Section 4);
 //   - NewGeneralQueue / NewNormalizedQueue — the paper's transformations
 //     applied to the Michael–Scott queue (Sections 6–7);
+//   - NewPersistentStack — the Section 7 transformation applied to the
+//     Treiber stack, evidence of Theorem 7.1's generality;
 //   - NewWritableCasArray — writable CAS objects (Section 8);
+//   - NewRecoverableMap — a crash-recoverable open-addressing hash map
+//     composing the writable-CAS array with capsule routines, with
+//     full-system crash recovery and a volatile baseline;
 //   - RunBenchmark / SweepBenchmark — the Section 10 evaluation harness.
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the
@@ -32,9 +37,11 @@ import (
 	"delayfree/internal/harness"
 	"delayfree/internal/logqueue"
 	"delayfree/internal/msq"
+	"delayfree/internal/pmap"
 	"delayfree/internal/pmem"
 	"delayfree/internal/pqueue"
 	"delayfree/internal/proc"
+	"delayfree/internal/pstack"
 	"delayfree/internal/qnode"
 	"delayfree/internal/rcas"
 	"delayfree/internal/romulus"
@@ -191,6 +198,49 @@ type (
 func NewWritableCasArray(mem *Memory, port *Port, M, P int, init func(j int) uint64) *WritableCasArray {
 	return wcas.New(mem, port, M, P, init)
 }
+
+// Persistent Treiber stack (the Section 7 transformation applied to a
+// second normalized data structure).
+type (
+	// PersistentStack is the transformed Treiber stack; see pstack.Stack.
+	PersistentStack = pstack.Stack
+	// StackConfig assembles the stack's dependencies.
+	StackConfig = pstack.Config
+)
+
+// NewPersistentStack builds the transformed Treiber stack; call its
+// Register and Init before use.
+func NewPersistentStack(cfg StackConfig) *PersistentStack { return pstack.New(cfg) }
+
+// Recoverable hash map (internal/pmap): buckets in a writable-CAS
+// array, operations as capsule routines, sharded segments, full-system
+// crash recovery.
+type (
+	// RecoverableMap is the crash-recoverable hash map; see pmap.Map.
+	RecoverableMap = pmap.Map
+	// RecoverableMapConfig configures a RecoverableMap.
+	RecoverableMapConfig = pmap.Config
+	// VolatileMap is the unprotected open-addressing baseline.
+	VolatileMap = pmap.Volatile
+	// MapOp is one scripted map operation (see pmap.Script).
+	MapOp = pmap.Op
+	// MapStressConfig parametrizes MapCrashStress.
+	MapStressConfig = pmap.StressConfig
+	// MapStressReport summarizes a MapCrashStress run.
+	MapStressReport = pmap.StressReport
+)
+
+// NewRecoverableMap computes a recoverable map's geometry; call its
+// Init, Register and Bind before use.
+func NewRecoverableMap(cfg RecoverableMapConfig) *RecoverableMap { return pmap.New(cfg) }
+
+// NewVolatileMap builds the unprotected baseline map.
+func NewVolatileMap(mem *Memory, buckets int) *VolatileMap { return pmap.NewVolatile(mem, buckets) }
+
+// MapCrashStress runs the map's crash-injection exactness check: looped
+// scripts under full-system crashes, recovered contents compared to a
+// shadow model.
+func MapCrashStress(cfg MapStressConfig) (MapStressReport, error) { return pmap.CrashStress(cfg) }
 
 // Evaluation harness (Section 10).
 type (

@@ -1,0 +1,3 @@
+module delayfree
+
+go 1.24

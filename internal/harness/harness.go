@@ -45,6 +45,13 @@ const (
 	KindNormalizedOpt  = "normalized-opt+manual"
 	KindLogQueue       = "logqueue"
 	KindRomulus        = "romulus"
+
+	// The map workload family (see map.go): the recoverable hash map of
+	// internal/pmap under a configurable read/write mix, against an
+	// unprotected open-addressing baseline.
+	KindPmap        = "pmap"
+	KindPmapSharded = "pmap-sharded"
+	KindMapVolatile = "map-volatile"
 )
 
 // AllKinds lists every runnable kind.
@@ -53,6 +60,7 @@ var AllKinds = []string{
 	KindGeneralIzra, KindNormalizedIzra,
 	KindGeneral, KindGeneralOpt, KindNormalized, KindNormalizedOpt,
 	KindLogQueue, KindRomulus,
+	KindMapVolatile, KindPmap, KindPmapSharded,
 }
 
 // Config parametrizes one measurement.
@@ -70,6 +78,16 @@ type Config struct {
 	// Attiya selects the Attiya et al. recoverable CAS (the paper's
 	// experiments used it); default is the paper's Algorithm 1.
 	Attiya bool
+
+	// Map-workload parameters (the pmap/pmap-sharded/map-volatile
+	// kinds; ignored by the queue kinds). Each thread runs Pairs*2
+	// operations: ReadPct percent Gets, the rest a Put/Delete/Cas mix.
+	ReadPct int
+	// MapKeys is the key-space size; the map is pre-filled with all of
+	// them and sized for load factor ½.
+	MapKeys int
+	// MapShards is the segment count of the pmap-sharded kind.
+	MapShards int
 }
 
 // DefaultConfig mirrors the paper's setup scaled to the simulator.
@@ -80,6 +98,9 @@ func DefaultConfig() Config {
 		SeedNodes:  100000,
 		FlushDelay: 250,
 		FenceDelay: 120,
+		ReadPct:    90,
+		MapKeys:    2048,
+		MapShards:  4,
 	}
 }
 
@@ -155,6 +176,8 @@ func Run(kind string, cfg Config) (Result, error) {
 		return runLogQueue(cfg), nil
 	case KindRomulus:
 		return runRomulus(cfg), nil
+	case KindPmap, KindPmapSharded, KindMapVolatile:
+		return runMapKind(kind, cfg), nil
 	default:
 		return Result{}, fmt.Errorf("harness: unknown kind %q", kind)
 	}
@@ -336,6 +359,10 @@ var Figures = map[string][]string{
 	"5": {KindIzraMSQ, KindGeneralIzra, KindNormalizedIzra},
 	"6": {KindGeneral, KindGeneralOpt, KindNormalized, KindNormalizedOpt, KindLogQueue, KindRomulus},
 	"7": {KindMSQ, KindGeneral, KindNormalized, KindNormalizedOpt, KindLogQueue, KindRomulus},
+	// "map" is not a paper figure: it sweeps the repository's second
+	// workload family (the recoverable hash map) against its volatile
+	// baseline, mirroring the Figure 7 queue comparison.
+	"map": {KindMapVolatile, KindPmap, KindPmapSharded},
 }
 
 // PrintTable renders results as the per-figure series the paper plots:

@@ -15,6 +15,9 @@ func smallCfg() Config {
 		SeedNodes:  500,
 		FlushDelay: 10,
 		FenceDelay: 5,
+		ReadPct:    50,
+		MapKeys:    128,
+		MapShards:  2,
 	}
 }
 
@@ -58,9 +61,17 @@ func TestPersistenceCostOrdering(t *testing.T) {
 		}
 		res[k] = r
 	}
-	// The plain MSQ persists nothing.
+	// The plain MSQ persists nothing, and neither does the volatile map
+	// baseline; the recoverable map pays real persistence work.
 	if res[KindMSQ].FlushesPerOp() != 0 {
 		t.Fatalf("msq flushes/op = %f", res[KindMSQ].FlushesPerOp())
+	}
+	if res[KindMapVolatile].FlushesPerOp() != 0 {
+		t.Fatalf("map-volatile flushes/op = %f", res[KindMapVolatile].FlushesPerOp())
+	}
+	if res[KindPmap].FlushesPerOp() <= 0 || res[KindPmap].BoundariesPerOp() <= 0 {
+		t.Fatalf("pmap persistence costs missing: %f flushes/op, %f boundaries/op",
+			res[KindPmap].FlushesPerOp(), res[KindPmap].BoundariesPerOp())
 	}
 	// Within a variant, manual flush placement beats the Izraelevitz
 	// construction's flush-every-access (the Figure 5 vs Figure 6
@@ -139,6 +150,44 @@ func TestRecoveryStudy(t *testing.T) {
 	PrintRecovery(&buf, pts)
 	if !strings.Contains(buf.String(), "recovery latency") {
 		t.Fatal("missing header")
+	}
+}
+
+func TestMapReadMixShapesCost(t *testing.T) {
+	// Gets never flush, so a read-heavier mix must cost fewer flushes
+	// per operation on the recoverable map.
+	reads := smallCfg()
+	reads.Threads = 1
+	reads.ReadPct = 95
+	writes := reads
+	writes.ReadPct = 0
+	r, err := Run(KindPmap, reads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Run(KindPmap, writes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.FlushesPerOp() >= w.FlushesPerOp() {
+		t.Fatalf("read-heavy %f flushes/op >= write-heavy %f", r.FlushesPerOp(), w.FlushesPerOp())
+	}
+}
+
+func TestMapKindsSweep(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Pairs = 100
+	res, err := Sweep(Figures["map"], []int{1, 2}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 6 {
+		t.Fatalf("results: %d", len(res))
+	}
+	for _, r := range res {
+		if r.MopsPerSec() <= 0 {
+			t.Fatalf("%s@%d: no throughput", r.Kind, r.Threads)
+		}
 	}
 }
 

@@ -1,0 +1,85 @@
+package pmap
+
+import "testing"
+
+// TestCrashStressShared is the acceptance workload: ≥1000 full-system
+// crashes across 4 processes in the shared-cache model (every crash
+// drops a random prefix of each dirty cache line), with the recovered
+// map required to equal the shadow model exactly — no operation lost,
+// duplicated or corrupted.
+func TestCrashStressShared(t *testing.T) {
+	crashes := 1000
+	if testing.Short() {
+		crashes = 150
+	}
+	rep, err := CrashStress(StressConfig{
+		P:          4,
+		Shards:     2,
+		Buckets:    256,
+		OpsPerProc: 500,
+		Crashes:    crashes,
+		Seed:       1,
+		Shared:     true,
+		Opt:        true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes < uint64(crashes) {
+		t.Fatalf("only %d crashes injected", rep.Crashes)
+	}
+	t.Logf("crashes=%d restarts=%d ops=%d", rep.Crashes, rep.Restarts, rep.Ops)
+}
+
+// TestCrashStressPrivate runs the same exactness check in the private
+// (PPM) model with full two-copy frames: crashes destroy volatile
+// state only, but the capsule machinery and the writable-CAS pool
+// recovery still have to deliver effectively-once operations.
+func TestCrashStressPrivate(t *testing.T) {
+	crashes := 300
+	if testing.Short() {
+		crashes = 60
+	}
+	rep, err := CrashStress(StressConfig{
+		P:          4,
+		Shards:     1,
+		Buckets:    128,
+		OpsPerProc: 300,
+		Crashes:    crashes,
+		Seed:       42,
+		Shared:     false,
+		Opt:        false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes < uint64(crashes) {
+		t.Fatalf("only %d crashes injected", rep.Crashes)
+	}
+}
+
+// TestCrashStressOddGeometry covers process counts and capacities whose
+// writable-CAS regions are not cache-line aligned (the P=3 layout that
+// once lost its init image at the first crash).
+func TestCrashStressOddGeometry(t *testing.T) {
+	crashes := 120
+	if testing.Short() {
+		crashes = 40
+	}
+	rep, err := CrashStress(StressConfig{
+		P:          3,
+		Shards:     1,
+		Buckets:    137,
+		OpsPerProc: 200,
+		Crashes:    crashes,
+		Seed:       7,
+		Shared:     true,
+		Opt:        false,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes < uint64(crashes) {
+		t.Fatalf("only %d crashes injected", rep.Crashes)
+	}
+}

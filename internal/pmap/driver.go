@@ -1,0 +1,285 @@
+package pmap
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+)
+
+// OpKind enumerates scripted map operations.
+type OpKind uint8
+
+// Scripted operation kinds.
+const (
+	OpPut OpKind = iota
+	OpDelete
+	OpGet
+)
+
+// Op is one scripted operation.
+type Op struct {
+	Kind OpKind
+	Key  uint64
+	Val  uint64
+}
+
+// Script builds process pid's deterministic operation sequence over its
+// private keys: 50% puts (uniquely tagged values), 25% deletes, 25%
+// gets. Determinism matters twice — a restarted process regenerates the
+// identical script, and the shadow model replays it.
+func Script(pid, n int, keys []uint64, seed int64) []Op {
+	rng := rand.New(rand.NewSource(seed))
+	ops := make([]Op, n)
+	for i := range ops {
+		k := keys[rng.Intn(len(keys))]
+		switch r := rng.Intn(100); {
+		case r < 50:
+			ops[i] = Op{OpPut, k, uint64(pid)<<40 | uint64(i)}
+		case r < 75:
+			ops[i] = Op{OpDelete, k, 0}
+		default:
+			ops[i] = Op{OpGet, k, 0}
+		}
+	}
+	return ops
+}
+
+// Apply replays a script into a model map (the shadow the crash-stress
+// checks against).
+func Apply(model map[uint64]uint64, ops []Op) {
+	for _, op := range ops {
+		switch op.Kind {
+		case OpPut:
+			model[op.Key] = op.Val
+		case OpDelete:
+			delete(model, op.Key)
+		}
+	}
+}
+
+// Driver slots.
+const (
+	drvIdx = 1
+	drvOK  = 2
+	drvVal = 3
+)
+
+// RegisterScriptDriver registers a depth-0 routine that executes
+// scripts[pid] one operation per Call, persisting the script index at
+// each boundary so a crashed process resumes exactly where it stopped.
+//
+// With keepGoing nil the driver finishes after one pass. Otherwise the
+// script repeats (operation i is scripts[pid][i mod len]) until a pass
+// completes and keepGoing() reports false — crash-stress runs use this
+// to keep the workload alive until the crash quota is met. keepGoing
+// may be read at different times by a repeated dispatch capsule; that
+// is safe because the exactness check depends only on the *persisted*
+// final index, never on when the driver decided to stop.
+func RegisterScriptDriver(reg *capsule.Registry, m *Map, scripts [][]Op, keepGoing func() bool) capsule.RoutineID {
+	return reg.Register("pmap-script-driver", false,
+		func(c *capsule.Ctx) { // pc0: dispatch the next operation
+			sc := scripts[c.P().ID()]
+			i := c.Local(drvIdx)
+			if i >= uint64(len(sc)) && (keepGoing == nil || !keepGoing()) {
+				c.Finish()
+				return
+			}
+			op := sc[i%uint64(len(sc))]
+			switch op.Kind {
+			case OpPut:
+				c.Call(m.Routine(), m.PutEntry(), 1, []uint64{op.Key, op.Val}, []int{drvOK})
+			case OpDelete:
+				c.Call(m.Routine(), m.DelEntry(), 1, []uint64{op.Key}, []int{drvOK})
+			default:
+				c.Call(m.Routine(), m.GetEntry(), 1, []uint64{op.Key}, []int{drvOK, drvVal})
+			}
+		},
+		func(c *capsule.Ctx) { // pc1: advance the script index
+			c.SetLocal(drvIdx, c.Local(drvIdx)+1)
+			c.Boundary(0)
+		},
+	)
+}
+
+// StressConfig parametrizes CrashStress.
+type StressConfig struct {
+	P           int // processes (the scripts use disjoint key ranges)
+	Shards      int
+	Buckets     int
+	OpsPerProc  int // script length; the script loops until Crashes is met
+	KeysPerProc int
+	// Crashes is the minimum number of full-system crashes to inject.
+	Crashes int
+	Seed    int64
+	// Shared selects the shared-cache model (crashes drop a random
+	// prefix of every dirty line); otherwise the private model, where
+	// crashes destroy only volatile state.
+	Shared bool
+	// Opt selects compact capsule frames.
+	Opt bool
+	// MinGap/MaxGap bound the instrumented-step gap between injected
+	// crashes. Zero means "derived from the geometry": the minimum must
+	// exceed the cost of a recovery pass or the run would livelock.
+	MinGap, MaxGap int64
+}
+
+// StressReport summarizes a CrashStress run.
+type StressReport struct {
+	Crashes  uint64 // full-system crashes completed
+	Restarts uint64 // process restarts summed over processes
+	Ops      uint64 // scripted operations executed (exactly once each)
+}
+
+// CrashStress runs the map's crash-injection exactness check: P
+// processes execute deterministic disjoint-key scripts through the
+// capsule driver while randomized step-count crash injection keeps
+// triggering full-system crashes ("all processors fail together",
+// Section 2.1); each restart wave recovers the writable-CAS pools
+// exactly once before anyone resumes. The scripts loop until at least
+// cfg.Crashes crashes have been absorbed, so every crash hits live
+// operations regardless of scheduling. The run fails if the final map
+// contents differ from the shadow model replayed to each process's
+// persisted operation count — i.e. if any crash lost, duplicated or
+// corrupted an operation — or if any driver did not complete.
+func CrashStress(cfg StressConfig) (StressReport, error) {
+	if cfg.KeysPerProc == 0 {
+		cfg.KeysPerProc = 24
+	}
+	mode := pmem.Private
+	if cfg.Shared {
+		mode = pmem.Shared
+	}
+	words := Words(cfg.Buckets, cfg.Shards, cfg.P) + uint64(cfg.P)*capsule.ProcWords + 1<<13
+	mem := pmem.New(pmem.Config{
+		Words:   words,
+		Mode:    mode,
+		Checked: true,
+		Seed:    cfg.Seed,
+	})
+	rt := proc.NewRuntime(mem, cfg.P)
+	rt.SystemCrashMode = true
+
+	m := New(Config{
+		Mem:     mem,
+		P:       cfg.P,
+		Buckets: cfg.Buckets,
+		Shards:  cfg.Shards,
+		Opt:     cfg.Opt,
+		Durable: cfg.Shared,
+	})
+	setup := mem.NewPort()
+	m.Init(setup, nil)
+	m.Bind(rt)
+
+	scripts := make([][]Op, cfg.P)
+	for pid := 0; pid < cfg.P; pid++ {
+		keys := make([]uint64, cfg.KeysPerProc)
+		for j := range keys {
+			keys[j] = uint64(pid)<<32 | uint64(j+1)
+		}
+		scripts[pid] = Script(pid, cfg.OpsPerProc, keys, cfg.Seed+int64(pid)*7919)
+	}
+
+	reg := capsule.NewRegistry()
+	m.Register(reg)
+	drv := RegisterScriptDriver(reg, m, scripts, func() bool {
+		return rt.SystemCrashes() < uint64(cfg.Crashes)
+	})
+	bases := capsule.AllocProcAreas(mem, cfg.P)
+	for i := 0; i < cfg.P; i++ {
+		capsule.Install(rt.Proc(i).Mem(), bases[i], reg, drv)
+	}
+
+	// One recovery per crash, by the first process of each restart wave;
+	// the rest of the wave blocks on the mutex until it is done, so no
+	// process resumes over unrecovered slot pools.
+	var recMu sync.Mutex
+	var recEpoch uint64
+	recoverPools := func(p *proc.Proc) {
+		e := rt.SystemCrashes()
+		recMu.Lock()
+		defer recMu.Unlock()
+		if e > recEpoch {
+			m.Recover(p.Mem())
+			recEpoch = e
+		}
+	}
+
+	// Step-based crash injection: each process re-arms a random gap
+	// after every restart; the first to fire drags the whole system
+	// down. The minimum gap must leave room for a full recovery pass
+	// (one process per wave replays Array.Recover for every segment) or
+	// the run would livelock.
+	minGap, maxGap := cfg.MinGap, cfg.MaxGap
+	if minGap == 0 {
+		recCost := int64(0)
+		for range m.segs {
+			recCost += int64(2*m.bps) + int64(2*m.bps) + int64(2*cfg.P*cfg.P) + int64(cfg.P)
+		}
+		minGap = 2*recCost + 1500
+	}
+	if maxGap < minGap {
+		maxGap = 2 * minGap
+	}
+	for i := 0; i < cfg.P; i++ {
+		rt.Proc(i).AutoCrash(cfg.Seed*31+int64(i), minGap, maxGap)
+	}
+
+	rt.RunToCompletion(func(i int) proc.Program {
+		return func(p *proc.Proc) {
+			if p.Crashed() {
+				recoverPools(p)
+			}
+			capsule.NewMachine(p, reg, bases[i]).Run()
+		}
+	})
+	for i := 0; i < cfg.P; i++ {
+		rt.Proc(i).Disarm()
+	}
+
+	// A final crash drops anything left unfenced; the comparison below
+	// therefore checks the *durable* state.
+	rt.CrashSystem()
+
+	report := StressReport{Crashes: rt.SystemCrashes()}
+	for i := 0; i < cfg.P; i++ {
+		report.Restarts += rt.Proc(i).Restarts()
+	}
+	if report.Crashes < uint64(cfg.Crashes) {
+		return report, fmt.Errorf("only %d full-system crashes completed, want %d", report.Crashes, cfg.Crashes)
+	}
+
+	// Shadow model: replay each process's looped script up to the
+	// operation count its driver persisted.
+	model := map[uint64]uint64{}
+	for i := 0; i < cfg.P; i++ {
+		mach := capsule.NewMachine(rt.Proc(i), reg, bases[i])
+		depth, pc, locals := mach.LoadState()
+		if depth != 0 || pc != capsule.PCDone {
+			return report, fmt.Errorf("process %d did not finish: depth=%d pc=%d", i, depth, pc)
+		}
+		n := locals[drvIdx]
+		if n < uint64(cfg.OpsPerProc) {
+			return report, fmt.Errorf("process %d executed %d ops, script demands at least %d", i, n, cfg.OpsPerProc)
+		}
+		report.Ops += n
+		sc := scripts[i]
+		for k := uint64(0); k < n; k++ {
+			Apply(model, sc[k%uint64(len(sc)):][:1])
+		}
+	}
+	got := m.Dump(setup)
+	if len(got) != len(model) {
+		return report, fmt.Errorf("recovered map has %d keys, shadow model %d", len(got), len(model))
+	}
+	for k, v := range model {
+		if gv, ok := got[k]; !ok || gv != v {
+			return report, fmt.Errorf("key %#x: recovered %d (present=%v), shadow model %d", k, gv, ok, v)
+		}
+	}
+	return report, nil
+}

@@ -42,16 +42,19 @@ func annIndex(w uint64) uint32 { return uint32(w) }
 func annSeq(w uint64) uint32   { return uint32(w>>32) & 0x7FFFFFFF }
 func annHelp(w uint64) bool    { return w>>63 == 1 }
 
-// Status packing: announced:1 | owner:32.
+// Status packing: announced:1 | owner+1:32. Owner is stored off by one
+// so that the zero word means "unowned" (a live slot, or one never yet
+// recycled) — recovery and the recycle scan can then distinguish a slot
+// genuinely owned by process 0 from an untouched status word.
 func packStatus(owner int, announced bool) uint64 {
-	w := uint64(uint32(owner))
+	w := uint64(uint32(owner + 1))
 	if announced {
 		w |= 1 << 62
 	}
 	return w
 }
 
-func statusOwner(w uint64) int      { return int(uint32(w)) }
+func statusOwner(w uint64) int      { return int(uint32(w)) - 1 }
 func statusAnnounced(w uint64) bool { return w>>62&1 == 1 }
 
 // Ptr packing: slot:32 | tag:32.
@@ -67,6 +70,20 @@ type Array struct {
 	ptr    pmem.Addr
 	ann    pmem.Addr // A[P], one line each
 	status pmem.Addr
+
+	// Durable enables the manual-flush protocol for the shared-cache
+	// model: a successful object CAS flushes the slot it wrote; a Write
+	// flushes the installed slot before the Ptr swing (the swing CAS
+	// drains it, Section 10's fence elision) and flushes the swung Ptr
+	// word afterwards, drained by the process's next CAS — always before
+	// the replaced slot can be reinstalled; and every slot resolution
+	// link-and-persists the Ptr word it dereferences (see getObjectIdx).
+	// Together these guarantee that whenever a Ptr entry is durable, the
+	// value in the slot it names is too, no two durable entries share a
+	// slot, and no operation commits durably through a volatile swing —
+	// so Recover sees consistent objects after a full-system crash.
+	// Leave false in the private model or under Port.Auto.
+	Durable bool
 }
 
 // New creates the array, with object j initialized to init(j).
@@ -82,10 +99,85 @@ func New(mem *pmem.Memory, port *pmem.Port, M, P int, init func(j int) uint64) *
 		port.Write(a.b+pmem.Addr(j), init(j))
 		port.Write(a.ptr+pmem.Addr(j), packPtr(uint32(j), 0))
 	}
+	// Persist the initial image: a crash before the first explicit flush
+	// must not revert the array to zeroes in the shared-cache model. The
+	// regions are not necessarily line-aligned (Alloc packs), so flush
+	// every line the words span, not a stride from the base.
+	flushSpan(port, a.b, uint64(M))
+	flushSpan(port, a.ptr, uint64(M))
+	port.Fence()
 	return a
 }
 
+// flushSpan flushes every cache line covering words [base, base+n).
+func flushSpan(port *pmem.Port, base pmem.Addr, n uint64) {
+	if n == 0 {
+		return
+	}
+	for li := pmem.LineOf(base); li <= pmem.LineOf(base+pmem.Addr(n-1)); li++ {
+		port.Flush(li * pmem.WordsPerLine)
+	}
+}
+
+// SetDurable toggles the manual-flush durability protocol. Call before
+// concurrent use.
+func (a *Array) SetDurable(d bool) { a.Durable = d }
+
 func (a *Array) annAddr(p int) pmem.Addr { return a.ann + pmem.Addr(p)*pmem.WordsPerLine }
+
+// Peek returns the current value of object j by resolving its slot
+// directly, without the announcement protocol. Quiescent helper for
+// tests, recovery audits and shadow-model checks; not linearizable
+// under concurrency.
+func (a *Array) Peek(port *pmem.Port, j int) uint64 {
+	return port.Read(a.b + pmem.Addr(ptrSlot(port.Read(a.ptr+pmem.Addr(j)))))
+}
+
+// Recover rebuilds the slot-ownership state after a full-system crash
+// and returns a fresh 2P-slot pool for every process (pass pool[pid] to
+// NewHandleWithPool). It must run quiescently — every process stopped,
+// as the runtime's full-system crash guarantees — because the volatile
+// handle state (free lists, retired lists, announcement sequence) of
+// every process died with it and per-slot ownership can only be
+// reassigned globally.
+//
+// The persistent truth is the Ptr array: the M slots it names are live
+// (each backs exactly one object); every other slot is free. Recover
+// reassigns the free slots round-robin, resets the status words to
+// match, and idles the announcement array (no process survives, so no
+// hazards survive). It performs only reads of Ptr, so an injected crash
+// during recovery simply reruns it.
+func (a *Array) Recover(port *pmem.Port) [][]uint32 {
+	live := make([]bool, a.slots)
+	for j := 0; j < a.M; j++ {
+		s := ptrSlot(port.Read(a.ptr + pmem.Addr(j)))
+		if int(s) >= a.slots {
+			panic(fmt.Sprintf("wcas: recover found Ptr[%d] naming slot %d out of %d", j, s, a.slots))
+		}
+		if live[s] {
+			panic(fmt.Sprintf("wcas: recover found slot %d backing two objects; was the array run without Durable in the shared model?", s))
+		}
+		live[s] = true
+	}
+	pools := make([][]uint32, a.P)
+	next := 0
+	for s := 0; s < a.slots; s++ {
+		if live[s] {
+			port.Write(a.status+pmem.Addr(s), 0) // unowned
+			continue
+		}
+		pools[next] = append(pools[next], uint32(s))
+		port.Write(a.status+pmem.Addr(s), packStatus(next, false))
+		next = (next + 1) % a.P
+	}
+	for p := 0; p < a.P; p++ {
+		if len(pools[p]) < 2 {
+			panic(fmt.Sprintf("wcas: recover left process %d with %d slots", p, len(pools[p])))
+		}
+		port.Write(a.annAddr(p), packAnn(0xFFFFFFFF, 0, false))
+	}
+	return pools
+}
 
 // Handle is one process's access to the array, carrying its slot pool.
 // Not safe for concurrent use.
@@ -111,6 +203,19 @@ func (a *Array) NewHandle(port *pmem.Port, pid int) *Handle {
 	return h
 }
 
+// NewHandleWithPool creates process pid's handle over an explicit slot
+// pool, as returned by Recover after a full-system crash. The pool must
+// be disjoint from every other process's and from the live slots.
+func (a *Array) NewHandleWithPool(port *pmem.Port, pid int, pool []uint32) *Handle {
+	if len(pool) < 2 {
+		panic("wcas: handle pool needs at least two slots")
+	}
+	h := &Handle{a: a, port: port, pid: pid}
+	h.freePtr = pool[0]
+	h.free = append(h.free, pool[1:]...)
+	return h
+}
+
 // getObjectIdx resolves object j to its current slot, protected by the
 // announcement (Algorithm 8, getObjectIdx).
 func (h *Handle) getObjectIdx(j int) uint32 {
@@ -123,6 +228,16 @@ func (h *Handle) getObjectIdx(j int) uint32 {
 		panic("wcas: announce CAS failed; announcement protocol violated")
 	}
 	ptr := ptrSlot(p.Read(a.ptr + pmem.Addr(j)))
+	if a.Durable {
+		// Link-and-persist: flush the Ptr word before operating through
+		// it; the resolve CAS below drains the flush. Without this, a
+		// concurrent process could durably complete an operation on a
+		// slot whose installing swing was still volatile — a crash would
+		// then revert Ptr and lose the completed operation. The writer's
+		// own post-swing flush is only drained by the *writer's* next
+		// CAS, which is not ordered against other processes' commits.
+		p.Flush(a.ptr + pmem.Addr(j))
+	}
 	p.CAS(aa, want, packAnn(ptr, h.seq, false))
 	// Either we resolved it or a helper did; the index is now stable.
 	return annIndex(p.Read(aa))
@@ -147,11 +262,17 @@ func (h *Handle) Read(j int) uint64 {
 	return v
 }
 
-// CAS performs a compare-and-swap on object j.
+// CAS performs a compare-and-swap on object j. In Durable mode a
+// successful CAS flushes the slot it wrote; the flush is left unfenced
+// for the caller's commit protocol (a capsule boundary, or any
+// subsequent CAS of this process) to drain.
 func (h *Handle) CAS(j int, old, new uint64) bool {
 	h.checkObj(j)
 	idx := h.getObjectIdx(j)
 	ok := h.port.CAS(h.a.b+pmem.Addr(idx), old, new)
+	if ok && h.a.Durable {
+		h.port.Flush(h.a.b + pmem.Addr(idx))
+	}
 	h.release()
 	return ok
 }
@@ -168,8 +289,19 @@ func (h *Handle) Write(j int, v uint64) {
 	if !p.CAS(slotAddr, p.Read(slotAddr), v) {
 		panic("wcas: private slot CAS failed")
 	}
+	if a.Durable {
+		// The swing CAS below drains this flush, so the installed value
+		// is durable before the swing can be.
+		p.Flush(slotAddr)
+	}
 	pw := p.Read(a.ptr + pmem.Addr(j))
 	if p.CAS(a.ptr+pmem.Addr(j), pw, packPtr(newPtr, ptrTag(pw)+1)) {
+		if a.Durable {
+			// Drained by this process's next CAS — in particular before
+			// the replaced slot can be reinstalled anywhere, so a durable
+			// Ptr entry never names a slot whose content has moved on.
+			p.Flush(a.ptr + pmem.Addr(j))
+		}
 		h.freePtr = h.recycle(ptrSlot(pw))
 	}
 	// On failure the write linearizes before the interfering write;
