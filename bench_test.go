@@ -23,6 +23,7 @@ import (
 	"delayfree/internal/qnode"
 	"delayfree/internal/rcas"
 	"delayfree/internal/wcas"
+	"delayfree/internal/workload"
 )
 
 // benchFigure runs one harness kind at the given thread count, sized by
@@ -30,7 +31,7 @@ import (
 func benchFigure(b *testing.B, kind string, threads int) {
 	cfg := harness.DefaultConfig()
 	cfg.Threads = threads
-	cfg.SeedNodes = 20000
+	cfg.Params = workload.Params{"seed-nodes": 20000, "stack-seed": 20000}
 	cfg.Pairs = b.N/(2*threads) + 1
 	b.ResetTimer()
 	r, err := harness.Run(kind, cfg)
@@ -45,7 +46,11 @@ func benchFigure(b *testing.B, kind string, threads int) {
 }
 
 func benchFigureFamily(b *testing.B, fig string) {
-	for _, kind := range harness.Figures[fig] {
+	kinds, ok := workload.FigureKinds(fig)
+	if !ok {
+		b.Fatalf("figure %q not registered", fig)
+	}
+	for _, kind := range kinds {
 		for _, threads := range []int{1, 2, 4, 8} {
 			b.Run(fmt.Sprintf("%s/p%d", kind, threads), func(b *testing.B) {
 				benchFigure(b, kind, threads)
@@ -70,6 +75,11 @@ func BenchmarkFig7(b *testing.B) { benchFigureFamily(b, "7") }
 // repository's second workload beside the queues): volatile baseline vs
 // pmap vs sharded pmap under the default read-heavy mix.
 func BenchmarkMap(b *testing.B) { benchFigureFamily(b, "map") }
+
+// BenchmarkStack sweeps the Treiber stack workload family: volatile
+// Treiber baseline vs the Persistent Normalized Simulator stack over
+// full and compact capsule frames.
+func BenchmarkStack(b *testing.B) { benchFigureFamily(b, "stack") }
 
 // BenchmarkRCas is ablation A1: the paper's Algorithm 1 recoverable CAS
 // vs the Attiya et al. variant (which the paper's experiments used), on

@@ -1,6 +1,13 @@
 // Command benchfigs regenerates the paper's evaluation artifacts
 // (Figures 5, 6 and 7 of Ben-David et al., SPAA 2019) plus the
+// repository's additional workload-family figures (map, stack) and the
 // recovery-latency study, on the simulated persistent-memory substrate.
+//
+// Figures and workload tunables are discovered through the workload
+// registry: registering a family contributes its figure and its flags
+// here without modification. Per-family flags (e.g. -seed-nodes,
+// -read-pct, -stack-seed) are generated from the registered parameter
+// definitions; booleans are 0/1 (e.g. -attiya 1).
 //
 // Usage:
 //
@@ -8,80 +15,121 @@
 //	benchfigs -fig all               # everything
 //	benchfigs -fig recovery          # recovery-latency study
 //	benchfigs -fig 6 -threads 8 -pairs 50000 -seed-nodes 1000000
-//	benchfigs -fig map -read-pct 90  # recoverable hash map workload family
+//	benchfigs -fig stack             # Treiber stack workload family
+//	benchfigs -fig all -json out.json
 //
-// Output is one table per figure: thread counts down the rows, queue
-// variants across the columns, throughput in Mops/s, followed by the
+// Output is one table per figure: thread counts down the rows, kinds
+// across the columns, throughput in Mops/s, followed by the
 // per-operation persistence costs (flushes/fences/CASes/boundaries)
-// that explain the ordering. EXPERIMENTS.md interprets the results
-// against the paper's.
+// that explain the ordering. With -json, machine-readable results
+// (kind, threads, Mops/s, per-op costs) are additionally written to the
+// given file — the format BENCH_*.json perf trajectories record.
+// EXPERIMENTS.md interprets the results against the paper's.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 
-	"delayfree/internal/harness"
+	"delayfree/internal/workload"
+	_ "delayfree/internal/workload/all"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, map, recovery, or all")
+	fig := flag.String("fig", "all", "figure to regenerate (registered: see -list), recovery, or all")
 	maxThreads := flag.Int("threads", 8, "maximum thread count for the sweep (paper: 8)")
-	pairs := flag.Int("pairs", 20000, "enqueue-dequeue pairs per thread")
-	seedNodes := flag.Uint("seed-nodes", 200000, "initial queue size in nodes (paper: 1M)")
+	pairs := flag.Int("pairs", 20000, "operation pairs per thread")
 	flushDelay := flag.Int("flush-delay", 250, "simulated flush latency (spin iterations)")
 	fenceDelay := flag.Int("fence-delay", 120, "simulated fence latency (spin iterations)")
-	attiya := flag.Bool("attiya", false, "use the Attiya et al. recoverable CAS (as the paper's experiments did)")
-	readPct := flag.Int("read-pct", 90, "map kinds: percentage of Get operations")
-	mapKeys := flag.Int("map-keys", 2048, "map kinds: key-space size (table sized for load factor 1/2)")
-	mapShards := flag.Int("map-shards", 4, "map kinds: segments of the pmap-sharded kind")
+	jsonPath := flag.String("json", "", "write machine-readable results to this file")
+	list := flag.Bool("list", false, "list registered figures and kinds, then exit")
+
+	// Per-family tunables come from the registry.
+	paramFlags := map[string]*int64{}
+	for _, p := range workload.ParamDefs() {
+		paramFlags[p.Name] = flag.Int64(p.Name, p.Default, p.Help)
+	}
 	flag.Parse()
 
-	cfg := harness.DefaultConfig()
-	cfg.Pairs = *pairs
-	cfg.SeedNodes = uint32(*seedNodes)
-	cfg.FlushDelay = *flushDelay
-	cfg.FenceDelay = *fenceDelay
-	cfg.Attiya = *attiya
-	cfg.ReadPct = *readPct
-	cfg.MapKeys = *mapKeys
-	cfg.MapShards = *mapShards
+	if *list {
+		for _, name := range workload.FigureNames() {
+			kinds, _ := workload.FigureKinds(name)
+			fmt.Printf("%-10s %v\n", name, kinds)
+		}
+		return
+	}
+
+	if *maxThreads < 1 || *pairs < 1 || *flushDelay < 0 || *fenceDelay < 0 {
+		fmt.Fprintln(os.Stderr, "-threads and -pairs must be >= 1, delays >= 0")
+		os.Exit(2)
+	}
+	cfg := workload.Config{
+		Pairs:      *pairs,
+		FlushDelay: *flushDelay,
+		FenceDelay: *fenceDelay,
+		Params:     workload.Params{},
+	}
+	for name, v := range paramFlags {
+		// Every registered tunable is a count, percentage or 0/1 flag;
+		// negative values would wrap through the families' uint32
+		// conversions into absurd allocations.
+		if *v < 0 {
+			fmt.Fprintf(os.Stderr, "-%s must be >= 0 (got %d)\n", name, *v)
+			os.Exit(2)
+		}
+		cfg.Params[name] = *v
+	}
 
 	threads := make([]int, 0, *maxThreads)
 	for t := 1; t <= *maxThreads; t++ {
 		threads = append(threads, t)
 	}
 
-	runFig := func(name string) {
-		kinds, ok := harness.Figures[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown figure %q\n", name)
+	var figNames []string
+	switch *fig {
+	case "recovery":
+		if *jsonPath != "" {
+			fmt.Fprintln(os.Stderr, "-json covers figure sweeps; it is not supported with -fig recovery")
 			os.Exit(2)
 		}
-		res, err := harness.Sweep(kinds, threads, cfg)
+		workload.PrintRecovery(os.Stdout, workload.RecoveryStudy([]uint32{0, 10, 100, 1000, 10000, 100000}))
+		return
+	case "all":
+		figNames = workload.FigureNames()
+	default:
+		figNames = []string{*fig}
+	}
+
+	results := map[string][]workload.Result{}
+	for _, name := range figNames {
+		kinds, ok := workload.FigureKinds(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q (registered: %v)\n", name, workload.FigureNames())
+			os.Exit(2)
+		}
+		res, err := workload.Sweep(kinds, threads, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		harness.PrintTable(os.Stdout, "Figure "+name, res)
+		results[name] = res
+		workload.PrintTable(os.Stdout, "Figure "+name, res)
+	}
+	if *fig == "all" {
+		workload.PrintRecovery(os.Stdout, workload.RecoveryStudy([]uint32{0, 10, 100, 1000, 10000, 100000}))
 	}
 
-	switch *fig {
-	case "recovery":
-		harness.PrintRecovery(os.Stdout, harness.RecoveryStudy([]uint32{0, 10, 100, 1000, 10000, 100000}))
-	case "all":
-		figs := make([]string, 0, len(harness.Figures))
-		for f := range harness.Figures {
-			figs = append(figs, f)
+	if *jsonPath != "" {
+		out, err := workload.JSONReport(figNames, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		sort.Strings(figs)
-		for _, f := range figs {
-			runFig(f)
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		harness.PrintRecovery(os.Stdout, harness.RecoveryStudy([]uint32{0, 10, 100, 1000, 10000, 100000}))
-	default:
-		runFig(*fig)
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

@@ -1,19 +1,27 @@
 // Command crashstress is a long-running crash-injection validator: it
-// runs every transformed queue variant under randomized crashes (both
-// independent process crashes in the private model and full-system
-// crashes in the shared-cache model) and checks exactness — every
-// process completes every operation exactly once, nothing is lost or
-// duplicated, the queue drains empty. With -workload pmap (or all) it
-// additionally stresses the recoverable hash map: scripted
-// Put/Delete/Get sequences under repeated full-system crashes, with the
-// recovered map contents checked against a shadow model.
+// runs every crash-stress driver registered with the workload registry
+// under randomized crashes in both failure models — independent process
+// crashes in the private model and full-system crashes in the
+// shared-cache model — and checks exactness: every process completes
+// every operation exactly once, nothing is lost, duplicated or
+// corrupted. The queue family checks balanced pairs and the persisted
+// dequeued-value sum; the map family replays a shadow model against the
+// recovered contents; the stack family checks value conservation over
+// the persisted driver accounting.
+//
+// Workload families are discovered through the registry, never
+// switch-cased here: registering a new family's stresser makes this
+// command stress it.
 //
 // Usage:
 //
-//	crashstress -rounds 20 -procs 4 -pairs 50 -seed 1
-//	crashstress -workload pmap -rounds 4 -map-crashes 500
+//	crashstress -rounds 20 -procs 4 -ops 50 -seed 1
+//	crashstress -workload stack -rounds 4 -crashes 500
+//	crashstress -workload normalized-opt
 //
-// Exit status is non-zero if any round finds a violation.
+// -workload selects a family (queue, map, stack) or a single stresser
+// by name; "all" runs everything. Exit status is non-zero if any round
+// finds a violation.
 package main
 
 import (
@@ -21,150 +29,75 @@ import (
 	"fmt"
 	"os"
 
-	"delayfree/internal/capsule"
-	"delayfree/internal/pmap"
-	"delayfree/internal/pmem"
-	"delayfree/internal/pqueue"
-	"delayfree/internal/proc"
-	"delayfree/internal/qnode"
-	"delayfree/internal/rcas"
+	"delayfree/internal/workload"
+	_ "delayfree/internal/workload/all"
 )
 
-type variant struct {
-	name string
-	mk   func(cfg pqueue.Config) pqueue.Queue
-}
-
-var variants = []variant{
-	{"general", func(cfg pqueue.Config) pqueue.Queue { return pqueue.NewGeneral(cfg) }},
-	{"general-opt", func(cfg pqueue.Config) pqueue.Queue { cfg.Opt = true; return pqueue.NewGeneral(cfg) }},
-	{"normalized", func(cfg pqueue.Config) pqueue.Queue { return pqueue.NewNormalized(cfg) }},
-	{"normalized-opt", func(cfg pqueue.Config) pqueue.Queue { cfg.Opt = true; return pqueue.NewNormalized(cfg) }},
-}
-
 func main() {
-	workload := flag.String("workload", "all", "which workloads to stress: queues, pmap, or all")
-	rounds := flag.Int("rounds", 10, "rounds per variant per failure model")
+	sel := flag.String("workload", "all", "family or stresser name to stress, or all")
+	rounds := flag.Int("rounds", 10, "rounds per stresser per failure model")
 	procs := flag.Int("procs", 4, "processes")
-	pairs := flag.Uint64("pairs", 30, "enqueue-dequeue pairs per process")
+	ops := flag.Int("ops", 0, "per-process script length (operation pairs); 0 = family default")
+	crashes := flag.Int("crashes", 0, "full-system crash quota for quota-driven stressers; 0 = family default")
 	seed := flag.Int64("seed", 1, "base RNG seed")
-	minGap := flag.Int64("min-gap", 120, "queue rounds: minimum instrumented steps between crashes")
-	maxGap := flag.Int64("max-gap", 2500, "queue rounds: maximum instrumented steps between crashes")
-	mapCrashes := flag.Int("map-crashes", 250, "full-system crashes per pmap round")
-	mapOps := flag.Int("map-ops", 300, "pmap script length per process")
-	mapMinGap := flag.Int64("map-min-gap", 0, "pmap rounds: minimum crash gap; 0 derives a livelock-safe gap from the geometry")
-	mapMaxGap := flag.Int64("map-max-gap", 0, "pmap rounds: maximum crash gap; 0 derives it")
+	minGap := flag.Int64("min-gap", 0, "minimum instrumented steps between crashes; 0 derives a livelock-safe gap")
+	maxGap := flag.Int64("max-gap", 0, "maximum instrumented steps between crashes; 0 derives it")
+	list := flag.Bool("list", false, "list registered stressers and exit")
 	flag.Parse()
 
-	switch *workload {
-	case "queues", "pmap", "all":
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q (want queues, pmap, or all)\n", *workload)
+	if *rounds < 0 || *procs < 0 || *ops < 0 || *crashes < 0 || *minGap < 0 || *maxGap < 0 {
+		fmt.Fprintln(os.Stderr, "negative -rounds/-procs/-ops/-crashes/-min-gap/-max-gap")
 		os.Exit(2)
 	}
 
+	stressers := workload.Stressers()
+	if *list {
+		for _, s := range stressers {
+			fmt.Printf("%-16s family=%s\n", s.Name, s.Family)
+		}
+		return
+	}
+
+	matched := false
 	failures := 0
-	if *workload == "queues" || *workload == "all" {
-		for _, v := range variants {
-			for _, shared := range []bool{false, true} {
-				for r := 0; r < *rounds; r++ {
-					s := *seed + int64(r)*7919
-					if err := round(v, shared, *procs, *pairs, s, *minGap, *maxGap); err != nil {
-						failures++
-						fmt.Printf("FAIL %-16s shared=%-5v seed=%-8d %v\n", v.name, shared, s, err)
-					} else {
-						fmt.Printf("ok   %-16s shared=%-5v seed=%-8d\n", v.name, shared, s)
-					}
+	for _, s := range stressers {
+		if *sel != "all" && s.Name != *sel && s.Family != *sel {
+			continue
+		}
+		matched = true
+		for _, shared := range []bool{false, true} {
+			for r := 0; r < *rounds; r++ {
+				roundSeed := *seed + int64(r)*7919
+				rep, err := s.Run(workload.StressConfig{
+					Procs:   *procs,
+					Ops:     *ops,
+					Crashes: *crashes,
+					Seed:    roundSeed,
+					Shared:  shared,
+					MinGap:  *minGap,
+					MaxGap:  *maxGap,
+				})
+				if err != nil {
+					failures++
+					fmt.Printf("FAIL %-16s shared=%-5v seed=%-8d %v\n", s.Name, shared, roundSeed, err)
+				} else {
+					fmt.Printf("ok   %-16s shared=%-5v seed=%-8d crashes=%-6d restarts=%-6d ops=%d\n",
+						s.Name, shared, roundSeed, rep.Crashes, rep.Restarts, rep.Ops)
 				}
 			}
 		}
 	}
-	if *workload == "pmap" || *workload == "all" {
-		for _, shared := range []bool{false, true} {
-			for r := 0; r < *rounds; r++ {
-				s := *seed + int64(r)*104729
-				rep, err := pmap.CrashStress(pmap.StressConfig{
-					P:          *procs,
-					Shards:     2,
-					Buckets:    256,
-					OpsPerProc: *mapOps,
-					Crashes:    *mapCrashes,
-					Seed:       s,
-					Shared:     shared,
-					Opt:        shared,
-					MinGap:     *mapMinGap,
-					MaxGap:     *mapMaxGap,
-				})
-				if err != nil {
-					failures++
-					fmt.Printf("FAIL %-16s shared=%-5v seed=%-8d %v\n", "pmap", shared, s, err)
-				} else {
-					fmt.Printf("ok   %-16s shared=%-5v seed=%-8d crashes=%-6d ops=%d\n",
-						"pmap", shared, s, rep.Crashes, rep.Ops)
-				}
-			}
+	if !matched {
+		names := make([]string, 0, len(stressers))
+		for _, s := range stressers {
+			names = append(names, s.Name)
 		}
+		fmt.Fprintf(os.Stderr, "unknown workload %q (families: %v; stressers: %v)\n", *sel, workload.Families(), names)
+		os.Exit(2)
 	}
 	if failures > 0 {
 		fmt.Printf("%d failing rounds\n", failures)
 		os.Exit(1)
 	}
 	fmt.Println("all rounds exact")
-}
-
-func round(v variant, shared bool, P int, pairs uint64, seed, minGap, maxGap int64) error {
-	mode := pmem.Private
-	if shared {
-		mode = pmem.Shared
-	}
-	mem := pmem.New(pmem.Config{
-		Words:   1 << 22,
-		Mode:    mode,
-		Checked: true,
-		Seed:    seed,
-	})
-	rt := proc.NewRuntime(mem, P)
-	rt.SystemCrashMode = shared
-	arena := qnode.NewArena(mem, 1<<16)
-	q := v.mk(pqueue.Config{
-		Mem:     mem,
-		Space:   rcas.NewSpace(mem, P),
-		Arena:   arena,
-		P:       P,
-		Durable: shared,
-	})
-	reg := capsule.NewRegistry()
-	q.Register(reg)
-	bases := capsule.AllocProcAreas(mem, P)
-	q.Init(rt.Proc(0).Mem(), pqueue.DummyNode)
-	drv := pqueue.RegisterPairsDriver(reg, q)
-	prog := pqueue.InstallDriver(rt, reg, drv, bases, pairs)
-	for i := 0; i < P; i++ {
-		rt.Proc(i).AutoCrash(seed*31+int64(i), minGap, maxGap)
-	}
-	rt.RunToCompletion(prog)
-	for i := 0; i < P; i++ {
-		rt.Proc(i).Disarm()
-	}
-
-	port := rt.Proc(0).Mem()
-	if got := q.Len(port); got != 0 {
-		return fmt.Errorf("queue holds %d values after balanced pairs", got)
-	}
-	var totalSink, wantSink uint64
-	for i := 0; i < P; i++ {
-		m := capsule.NewMachine(rt.Proc(i), reg, bases[i])
-		depth, pc, locals := m.LoadState()
-		if depth != 0 || pc != capsule.PCDone {
-			return fmt.Errorf("proc %d did not finish: depth=%d pc=%d", i, depth, pc)
-		}
-		totalSink += locals[5] // driver sink slot
-		for k := uint64(0); k < pairs; k++ {
-			wantSink += uint64(i)<<40 | k
-		}
-	}
-	if totalSink != wantSink {
-		return fmt.Errorf("dequeued-value sum %d, want %d (lost or duplicated operations)", totalSink, wantSink)
-	}
-	return nil
 }

@@ -24,7 +24,11 @@
 //   - NewRecoverableMap — a crash-recoverable open-addressing hash map
 //     composing the writable-CAS array with capsule routines, with
 //     full-system crash recovery and a volatile baseline;
-//   - RunBenchmark / SweepBenchmark — the Section 10 evaluation harness.
+//   - RunBenchmark / SweepBenchmark — the Section 10 evaluation harness;
+//   - BenchKinds / BenchFigures / CrashStressers / RunCrashStress — the
+//     workload registry: every family (queue, map, stack) registers its
+//     benchmark kinds, figures, tunables and crash-stress drivers, and
+//     consumers iterate what is registered (see internal/workload).
 //
 // See examples/ for runnable programs and EXPERIMENTS.md for the
 // reproduction of the paper's figures.
@@ -46,6 +50,7 @@ import (
 	"delayfree/internal/rcas"
 	"delayfree/internal/romulus"
 	"delayfree/internal/wcas"
+	"delayfree/internal/workload"
 )
 
 // Simulated persistent memory (the PPM substrate).
@@ -200,17 +205,25 @@ func NewWritableCasArray(mem *Memory, port *Port, M, P int, init func(j int) uin
 }
 
 // Persistent Treiber stack (the Section 7 transformation applied to a
-// second normalized data structure).
+// second normalized data structure; a first-class workload family with
+// benchmark kinds, a figure and a crash-stress driver).
 type (
 	// PersistentStack is the transformed Treiber stack; see pstack.Stack.
 	PersistentStack = pstack.Stack
 	// StackConfig assembles the stack's dependencies.
 	StackConfig = pstack.Config
+	// VolatileStack is the unprotected Treiber baseline.
+	VolatileStack = pstack.Volatile
 )
 
 // NewPersistentStack builds the transformed Treiber stack; call its
 // Register and Init before use.
 func NewPersistentStack(cfg StackConfig) *PersistentStack { return pstack.New(cfg) }
+
+// NewVolatileStack builds the unprotected Treiber baseline.
+func NewVolatileStack(mem *Memory, port *Port, arena *NodeArena) *VolatileStack {
+	return pstack.NewVolatile(mem, port, arena)
+}
 
 // Recoverable hash map (internal/pmap): buckets in a writable-CAS
 // array, operations as capsule routines, sharded segments, full-system
@@ -224,10 +237,6 @@ type (
 	VolatileMap = pmap.Volatile
 	// MapOp is one scripted map operation (see pmap.Script).
 	MapOp = pmap.Op
-	// MapStressConfig parametrizes MapCrashStress.
-	MapStressConfig = pmap.StressConfig
-	// MapStressReport summarizes a MapCrashStress run.
-	MapStressReport = pmap.StressReport
 )
 
 // NewRecoverableMap computes a recoverable map's geometry; call its
@@ -237,37 +246,74 @@ func NewRecoverableMap(cfg RecoverableMapConfig) *RecoverableMap { return pmap.N
 // NewVolatileMap builds the unprotected baseline map.
 func NewVolatileMap(mem *Memory, buckets int) *VolatileMap { return pmap.NewVolatile(mem, buckets) }
 
-// MapCrashStress runs the map's crash-injection exactness check: looped
-// scripts under full-system crashes, recovered contents compared to a
-// shadow model.
-func MapCrashStress(cfg MapStressConfig) (MapStressReport, error) { return pmap.CrashStress(cfg) }
-
-// Evaluation harness (Section 10).
+// Workload registry and evaluation harness (Section 10). Families
+// self-register benchmark kinds, figures, tunables and crash-stress
+// drivers; everything below iterates the registry, so a new family is
+// one registration file away from benchfigs tables, crashstress rounds
+// and these APIs.
 type (
-	// BenchConfig parametrizes a benchmark run.
-	BenchConfig = harness.Config
+	// BenchConfig parametrizes a benchmark run: common knobs plus the
+	// per-family parameter bag (see BenchParamDefs).
+	BenchConfig = workload.Config
+	// BenchParams is the per-family parameter bag ("seed-nodes",
+	// "read-pct", "stack-seed", ...; booleans are 0/1).
+	BenchParams = workload.Params
+	// BenchParam describes one registered tunable.
+	BenchParam = workload.Param
 	// BenchResult is one measured point.
-	BenchResult = harness.Result
+	BenchResult = workload.Result
+	// Bencher is one registered benchmark kind.
+	Bencher = workload.Bencher
+	// StressConfig parametrizes one crash-stress round; zero fields
+	// select family defaults.
+	StressConfig = workload.StressConfig
+	// StressReport summarizes one crash-stress round.
+	StressReport = workload.StressReport
+	// Stresser is one registered crash-stress driver.
+	Stresser = workload.Stresser
 )
 
-// BenchKinds lists every runnable queue kind.
-var BenchKinds = harness.AllKinds
+// BenchKinds lists every registered kind, across all families.
+func BenchKinds() []string { return workload.Kinds() }
 
-// BenchFigures maps paper figures to the kinds they compare.
-var BenchFigures = harness.Figures
+// BenchFigures maps figure names to the kinds they compare.
+func BenchFigures() map[string][]string { return workload.Figures() }
 
-// DefaultBenchConfig mirrors the paper's setup scaled to the simulator.
+// BenchParamDefs lists every registered per-family tunable.
+func BenchParamDefs() []BenchParam { return workload.ParamDefs() }
+
+// DefaultBenchConfig mirrors the paper's setup scaled to the simulator;
+// family tunables resolve to their registered defaults.
 func DefaultBenchConfig() BenchConfig { return harness.DefaultConfig() }
 
-// RunBenchmark measures one queue kind.
-func RunBenchmark(kind string, cfg BenchConfig) (BenchResult, error) { return harness.Run(kind, cfg) }
+// RunBenchmark measures one registered kind.
+func RunBenchmark(kind string, cfg BenchConfig) (BenchResult, error) { return workload.Run(kind, cfg) }
 
 // SweepBenchmark measures kinds across thread counts.
 func SweepBenchmark(kinds []string, threads []int, cfg BenchConfig) ([]BenchResult, error) {
-	return harness.Sweep(kinds, threads, cfg)
+	return workload.Sweep(kinds, threads, cfg)
 }
 
 // PrintBenchTable renders results as a paper-figure table.
 func PrintBenchTable(w io.Writer, title string, results []BenchResult) {
-	harness.PrintTable(w, title, results)
+	workload.PrintTable(w, title, results)
+}
+
+// RegisterBenchmark adds a benchmark kind to the registry (the
+// extension point future workload families use).
+func RegisterBenchmark(b Bencher) { workload.RegisterBencher(b) }
+
+// RegisterCrashStresser adds a crash-stress driver to the registry.
+func RegisterCrashStresser(s Stresser) { workload.RegisterStresser(s) }
+
+// CrashStressers lists every registered crash-stress driver.
+func CrashStressers() []Stresser { return workload.Stressers() }
+
+// RunCrashStress runs one round of the named crash-stress driver
+// ("general", "normalized-opt", "pmap", "pstack", ...): scripted
+// operations under randomized crash injection with a shadow-model
+// exactness check. A non-nil error means an operation was lost,
+// duplicated or corrupted.
+func RunCrashStress(name string, cfg StressConfig) (StressReport, error) {
+	return workload.RunStress(name, cfg)
 }

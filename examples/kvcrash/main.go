@@ -5,11 +5,11 @@
 //
 //	go run ./examples/kvcrash
 //
-// Part 1 runs the packaged crash-stress: the scripts loop until at
-// least 400 full-system crashes have been absorbed, then the recovered
-// map is compared against a shadow model replayed to each process's
-// persisted operation count — nothing may be lost, duplicated or
-// corrupted.
+// Part 1 runs the workload registry's packaged crash-stress driver (the
+// same one cmd/crashstress discovers): the scripts loop until at least
+// 400 full-system crashes have been absorbed, then the recovered map is
+// compared against a shadow model replayed to each process's persisted
+// operation count — nothing may be lost, duplicated or corrupted.
 //
 // Part 2 shows the recovery API by hand: put a few keys, crash the
 // whole system, recover the writable-CAS slot pools, and read the keys
@@ -24,16 +24,14 @@ import (
 )
 
 func main() {
-	// Part 1: packaged crash-stress with a shadow-model exactness check.
-	rep, err := delayfree.MapCrashStress(delayfree.MapStressConfig{
-		P:          3,
-		Shards:     2,
-		Buckets:    256,
-		OpsPerProc: 300,
-		Crashes:    400,
-		Seed:       7,
-		Shared:     true, // crashes drop a random prefix of every dirty line
-		Opt:        true, // compact one-cache-line capsule boundaries
+	// Part 1: the registry's packaged crash-stress with a shadow-model
+	// exactness check.
+	rep, err := delayfree.RunCrashStress("pmap", delayfree.StressConfig{
+		Procs:   3,
+		Ops:     300,
+		Crashes: 400,
+		Seed:    7,
+		Shared:  true, // crashes drop a random prefix of every dirty line
 	})
 	if err != nil {
 		panic(err)

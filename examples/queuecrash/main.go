@@ -1,98 +1,49 @@
 // Queuecrash: the paper's headline artifact in action — the
 // Michael–Scott queue transformed by the Persistent Normalized
-// Simulator (Section 7), running in the shared-cache model with
-// manual-flush durability while full-system crashes drop unflushed
-// cache lines at random.
+// Simulator (Section 7) surviving randomized crash injection in both
+// failure models, through the workload registry's packaged crash-stress
+// driver (the same one cmd/crashstress runs).
 //
 //	go run ./examples/queuecrash
 //
-// Three processes run enqueue-dequeue pairs through encapsulated
-// drivers; a controller goroutine keeps triggering whole-system
-// crashes. At the end the queue must drain empty and the sum of all
-// dequeued values must equal the sum of all enqueued values — no
-// operation lost, none duplicated, across every crash.
+// Each round, three processes run enqueue-dequeue pairs through
+// encapsulated drivers while randomized step-count crash injection
+// keeps destroying them — independent process crashes in the private
+// model, whole-system crashes (dropping unflushed cache lines) in the
+// shared-cache model. The driver's exactness check requires that the
+// queue drains empty and the persisted sum of dequeued values equals
+// the sum of enqueued values — no operation lost, none duplicated,
+// across every crash.
 package main
 
 import (
 	"fmt"
-	"time"
 
 	"delayfree"
-	"delayfree/internal/capsule"
-	"delayfree/internal/pqueue"
 )
 
 func main() {
-	const P, pairs = 3, 2000
-
-	mem := delayfree.NewMemory(delayfree.MemConfig{
-		Words:   1 << 22,
-		Mode:    delayfree.SharedModel,
-		Checked: true,
-		Seed:    42,
-	})
-	rt := delayfree.NewRuntime(mem, P)
-	rt.SystemCrashMode = true
-
-	arena := delayfree.NewNodeArena(mem, 1<<15)
-	q := delayfree.NewNormalizedQueue(delayfree.QueueConfig{
-		Mem:     mem,
-		Space:   delayfree.NewRCas(mem, P),
-		Arena:   arena,
-		P:       P,
-		Durable: true, // hand-placed flushes (the Figure 6 configuration)
-		Opt:     true, // compact one-cache-line capsule boundaries
-	})
-	reg := delayfree.NewRegistry()
-	q.Register(reg)
-	bases := delayfree.AllocCapsuleAreas(mem, P)
-	q.Init(rt.Proc(0).Mem(), pqueue.DummyNode)
-
-	drv := pqueue.RegisterPairsDriver(reg, q)
-	prog := pqueue.InstallDriver(rt, reg, drv, bases, pairs)
-
-	rt.GoAll(prog)
-	done := make(chan struct{})
-	go func() { rt.Wait(); close(done) }()
-
-	crashes := 0
-	for {
-		select {
-		case <-done:
-			report(rt, q, bases, reg, crashes)
-			return
-		default:
-			// Let the processes make some progress between crashes so
-			// the run terminates (recovery itself costs instructions).
-			time.Sleep(2 * time.Millisecond)
-			rt.CrashSystem() // stop everyone, drop unflushed lines, restart
-			crashes++
+	for _, shared := range []bool{false, true} {
+		model := "private (independent process crashes)"
+		if shared {
+			model = "shared-cache (full-system crashes)"
 		}
-	}
-}
-
-func report(rt *delayfree.Runtime, q delayfree.PersistentQueue, bases []delayfree.Addr, reg *delayfree.Registry, crashes int) {
-	const P, pairs = 3, 2000
-	port := rt.Proc(0).Mem()
-	left := q.Len(port)
-
-	var got, want uint64
-	for i := 0; i < P; i++ {
-		m := delayfree.NewMachine(rt.Proc(i), reg, bases[i])
-		_, pc, locals := m.LoadState()
-		if pc != capsule.PCDone {
-			panic("driver did not finish")
+		rep, err := delayfree.RunCrashStress("normalized-opt", delayfree.StressConfig{
+			Procs:  3,
+			Ops:    200, // enqueue-dequeue pairs per process
+			Seed:   42,
+			Shared: shared,
+			// Crash every few thousand instrumented steps: frequent
+			// enough that every round absorbs dozens of crashes, sparse
+			// enough that the example finishes in seconds.
+			MinGap: 2000,
+			MaxGap: 8000,
+		})
+		if err != nil {
+			panic(err)
 		}
-		got += locals[5] // the driver's sink: sum of dequeued values
-		for k := uint64(0); k < pairs; k++ {
-			want += uint64(i)<<40 | k
-		}
-	}
-	fmt.Printf("survived %d full-system crashes\n", crashes)
-	fmt.Printf("queue leftover: %d nodes (want 0)\n", left)
-	fmt.Printf("dequeued-value sum: %d (want %d)\n", got, want)
-	if left != 0 || got != want {
-		panic("exactness violated")
+		fmt.Printf("%-45s restarts=%-5d system-crashes=%-5d ops=%d: exact\n",
+			model, rep.Restarts, rep.Crashes, rep.Ops)
 	}
 	fmt.Println("durably linearizable and detectable: nothing lost, nothing duplicated")
 }

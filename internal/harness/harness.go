@@ -1,9 +1,16 @@
-// Package harness builds and runs the paper's evaluation workload
-// (Section 10): T threads running enqueue-dequeue pairs against a queue
-// pre-seeded with a large number of nodes, for every queue variant in
-// the repository, reporting throughput and the per-operation persistence
-// costs (flushes, fences, CASes, capsule boundaries) that drive the
-// figures' shape.
+// Package harness builds and runs the paper's evaluation workloads
+// (Section 10) and registers them with the workload registry: for each
+// family (queue, map, stack) it contributes benchmark kinds that run a
+// fixed-work measurement and report throughput and the per-operation
+// persistence costs (flushes, fences, CASes, capsule boundaries) that
+// drive the figures' shape, plus the figures comparing them and the
+// family's tunables.
+//
+// This file is the queue family: T threads running enqueue-dequeue
+// pairs against a queue pre-seeded with a large number of nodes, for
+// every queue variant in the repository (Figures 5-7). map.go and
+// stack.go register the map and stack families the same way; adding a
+// family is one more registration file.
 //
 // Simulated NVM latency: flushes and fences spin for a calibrated
 // number of iterations (Config.FlushDelay/FenceDelay), standing in for
@@ -14,9 +21,6 @@
 package harness
 
 import (
-	"fmt"
-	"io"
-	"sort"
 	"time"
 
 	"delayfree/internal/capsule"
@@ -28,9 +32,10 @@ import (
 	"delayfree/internal/qnode"
 	"delayfree/internal/rcas"
 	"delayfree/internal/romulus"
+	"delayfree/internal/workload"
 )
 
-// Kinds runnable by Run. The durability suffix selects how a
+// Kinds of the queue family. The durability suffix selects how a
 // transformed queue is made durable in the shared-cache model:
 // "+izra" = the Izraelevitz construction (flush after every shared
 // access, Figure 5), "+manual" = hand-placed flushes (Figure 6).
@@ -45,105 +50,66 @@ const (
 	KindNormalizedOpt  = "normalized-opt+manual"
 	KindLogQueue       = "logqueue"
 	KindRomulus        = "romulus"
-
-	// The map workload family (see map.go): the recoverable hash map of
-	// internal/pmap under a configurable read/write mix, against an
-	// unprotected open-addressing baseline.
-	KindPmap        = "pmap"
-	KindPmapSharded = "pmap-sharded"
-	KindMapVolatile = "map-volatile"
 )
 
-// AllKinds lists every runnable kind.
-var AllKinds = []string{
-	KindMSQ, KindIzraMSQ,
-	KindGeneralIzra, KindNormalizedIzra,
-	KindGeneral, KindGeneralOpt, KindNormalized, KindNormalizedOpt,
-	KindLogQueue, KindRomulus,
-	KindMapVolatile, KindPmap, KindPmapSharded,
-}
+// Config parametrizes one measurement: common knobs plus the per-family
+// parameter bag (see the registered workload.Params of each family).
+type Config = workload.Config
 
-// Config parametrizes one measurement.
-type Config struct {
-	Threads int
-	// Pairs is the number of enqueue-dequeue pairs per thread
-	// (fixed-work runs give deterministic comparisons on one vCPU).
-	Pairs int
-	// SeedNodes pre-fills the queue; the paper uses 1M.
-	SeedNodes uint32
-	// FlushDelay/FenceDelay are spin iterations charged per flush and
-	// fence, modeling NVM persist latency.
-	FlushDelay int
-	FenceDelay int
-	// Attiya selects the Attiya et al. recoverable CAS (the paper's
-	// experiments used it); default is the paper's Algorithm 1.
-	Attiya bool
+// Result is one measured point.
+type Result = workload.Result
 
-	// Map-workload parameters (the pmap/pmap-sharded/map-volatile
-	// kinds; ignored by the queue kinds). Each thread runs Pairs*2
-	// operations: ReadPct percent Gets, the rest a Put/Delete/Cas mix.
-	ReadPct int
-	// MapKeys is the key-space size; the map is pre-filled with all of
-	// them and sized for load factor ½.
-	MapKeys int
-	// MapShards is the segment count of the pmap-sharded kind.
-	MapShards int
-}
+// AllKinds lists every registered kind, across all families.
+func AllKinds() []string { return workload.Kinds() }
 
-// DefaultConfig mirrors the paper's setup scaled to the simulator.
+// Run measures one registered kind under cfg.
+func Run(kind string, cfg Config) (Result, error) { return workload.Run(kind, cfg) }
+
+// DefaultConfig mirrors the paper's setup scaled to the simulator;
+// family tunables resolve to their registered defaults.
 func DefaultConfig() Config {
 	return Config{
 		Threads:    1,
 		Pairs:      20000,
-		SeedNodes:  100000,
 		FlushDelay: 250,
 		FenceDelay: 120,
-		ReadPct:    90,
-		MapKeys:    2048,
-		MapShards:  4,
 	}
 }
 
-// Result is one measured point.
-type Result struct {
-	Kind    string
-	Threads int
-	Ops     uint64 // total operations (2 per pair)
-	Elapsed time.Duration
-	Stats   pmem.Stats
-}
-
-// MopsPerSec returns throughput in million operations per second.
-func (r Result) MopsPerSec() float64 {
-	if r.Elapsed <= 0 {
-		return 0
+func init() {
+	workload.RegisterParams(
+		// 200000 matches the default the benchfigs CLI always used, so
+		// regenerated tables stay comparable with recorded ones.
+		workload.Param{Name: "seed-nodes", Default: 200000,
+			Help: "queue family: initial queue size in nodes (paper: 1M)"},
+		workload.Param{Name: "attiya", Default: 0,
+			Help: "queue family: 1 = use the Attiya et al. recoverable CAS (as the paper's experiments did)"},
+	)
+	register := func(kind string, run func(Config) Result) {
+		workload.RegisterBencher(workload.Bencher{Kind: kind, Family: "queue", Run: run})
 	}
-	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+	register(KindMSQ, func(cfg Config) Result { return runMSQ(cfg, false) })
+	register(KindIzraMSQ, func(cfg Config) Result { return runMSQ(cfg, true) })
+	register(KindGeneralIzra, func(cfg Config) Result { return runTransformed(cfg, KindGeneralIzra, false, false, true) })
+	register(KindNormalizedIzra, func(cfg Config) Result { return runTransformed(cfg, KindNormalizedIzra, true, false, true) })
+	register(KindGeneral, func(cfg Config) Result { return runTransformed(cfg, KindGeneral, false, false, false) })
+	register(KindGeneralOpt, func(cfg Config) Result { return runTransformed(cfg, KindGeneralOpt, false, true, false) })
+	register(KindNormalized, func(cfg Config) Result { return runTransformed(cfg, KindNormalized, true, false, false) })
+	register(KindNormalizedOpt, func(cfg Config) Result { return runTransformed(cfg, KindNormalizedOpt, true, true, false) })
+	register(KindLogQueue, runLogQueue)
+	register(KindRomulus, runRomulus)
+
+	workload.RegisterFigure("5", KindIzraMSQ, KindGeneralIzra, KindNormalizedIzra)
+	workload.RegisterFigure("6", KindGeneral, KindGeneralOpt, KindNormalized, KindNormalizedOpt, KindLogQueue, KindRomulus)
+	workload.RegisterFigure("7", KindMSQ, KindGeneral, KindNormalized, KindNormalizedOpt, KindLogQueue, KindRomulus)
 }
 
-// PerOp returns a per-operation cost.
-func perOp(v, ops uint64) float64 {
-	if ops == 0 {
-		return 0
-	}
-	return float64(v) / float64(ops)
-}
+// seedNodes resolves the queue family's initial-length tunable.
+func seedNodes(cfg Config) uint32 { return uint32(cfg.Param("seed-nodes")) }
 
-// FlushesPerOp returns flushes per operation.
-func (r Result) FlushesPerOp() float64 { return perOp(r.Stats.Flushes, r.Ops) }
-
-// FencesPerOp returns fences per operation.
-func (r Result) FencesPerOp() float64 { return perOp(r.Stats.Fences, r.Ops) }
-
-// CASesPerOp returns CAS instructions per operation.
-func (r Result) CASesPerOp() float64 { return perOp(r.Stats.CASes, r.Ops) }
-
-// BoundariesPerOp returns capsule boundaries per operation.
-func (r Result) BoundariesPerOp() float64 { return perOp(r.Stats.Boundaries, r.Ops) }
-
-// memFor sizes a fast-mode memory for the run.
+// memFor sizes a fast-mode memory for a queue-family run.
 func memFor(cfg Config, extraWords uint64) *pmem.Memory {
-	arenaWords := uint64(cfg.SeedNodes+8192*uint32(cfg.Threads)) * pmem.WordsPerLine
+	arenaWords := uint64(seedNodes(cfg)+8192*uint32(cfg.Threads)) * pmem.WordsPerLine
 	frames := uint64(cfg.Threads) * capsule.ProcWords
 	return pmem.New(pmem.Config{
 		Words:      arenaWords + frames + extraWords + 1<<16,
@@ -153,48 +119,19 @@ func memFor(cfg Config, extraWords uint64) *pmem.Memory {
 	})
 }
 
-// Run measures one kind under cfg.
-func Run(kind string, cfg Config) (Result, error) {
-	switch kind {
-	case KindMSQ:
-		return runMSQ(cfg, false), nil
-	case KindIzraMSQ:
-		return runMSQ(cfg, true), nil
-	case KindGeneralIzra:
-		return runTransformed(cfg, kind, false, false, true), nil
-	case KindNormalizedIzra:
-		return runTransformed(cfg, kind, true, false, true), nil
-	case KindGeneral:
-		return runTransformed(cfg, kind, false, false, false), nil
-	case KindGeneralOpt:
-		return runTransformed(cfg, kind, false, true, false), nil
-	case KindNormalized:
-		return runTransformed(cfg, kind, true, false, false), nil
-	case KindNormalizedOpt:
-		return runTransformed(cfg, kind, true, true, false), nil
-	case KindLogQueue:
-		return runLogQueue(cfg), nil
-	case KindRomulus:
-		return runRomulus(cfg), nil
-	case KindPmap, KindPmapSharded, KindMapVolatile:
-		return runMapKind(kind, cfg), nil
-	default:
-		return Result{}, fmt.Errorf("harness: unknown kind %q", kind)
-	}
-}
-
 func runMSQ(cfg Config, izra bool) Result {
 	kind := KindMSQ
 	if izra {
 		kind = KindIzraMSQ
 	}
+	seed := seedNodes(cfg)
 	mem := memFor(cfg, 0)
 	rt := proc.NewRuntime(mem, cfg.Threads)
-	arena := qnode.NewArena(mem, cfg.SeedNodes+8192*uint32(cfg.Threads))
+	arena := qnode.NewArena(mem, seed+8192*uint32(cfg.Threads))
 	setup := mem.NewPort()
 	q := msq.New(mem, setup, arena, 1)
-	if cfg.SeedNodes > 0 {
-		q.Seed(setup, 2, cfg.SeedNodes, func(i uint32) uint64 { return uint64(i) })
+	if seed > 0 {
+		q.Seed(setup, 2, seed, func(i uint32) uint64 { return uint64(i) })
 	}
 	if izra {
 		for i := 0; i < cfg.Threads; i++ {
@@ -204,7 +141,7 @@ func runMSQ(cfg Config, izra bool) Result {
 	start := time.Now()
 	rt.RunToCompletion(func(i int) proc.Program {
 		return func(p *proc.Proc) {
-			lo, hi := arena.Range(i, cfg.Threads, cfg.SeedNodes+1)
+			lo, hi := arena.Range(i, cfg.Threads, seed+1)
 			h := q.NewHandle(p.Mem(), lo, hi)
 			for k := 0; k < cfg.Pairs; k++ {
 				h.Enqueue(uint64(i)<<40 | uint64(k))
@@ -216,11 +153,12 @@ func runMSQ(cfg Config, izra bool) Result {
 }
 
 func runTransformed(cfg Config, kind string, normalized, opt, izra bool) Result {
+	seed := seedNodes(cfg)
 	mem := memFor(cfg, 0)
 	rt := proc.NewRuntime(mem, cfg.Threads)
-	arena := qnode.NewArena(mem, cfg.SeedNodes+8192*uint32(cfg.Threads))
+	arena := qnode.NewArena(mem, seed+8192*uint32(cfg.Threads))
 	var space rcas.CasSpace
-	if cfg.Attiya {
+	if cfg.Param("attiya") != 0 {
 		space = rcas.NewAttiya(mem, cfg.Threads)
 	} else {
 		space = rcas.NewSpace(mem, cfg.Threads)
@@ -243,9 +181,9 @@ func runTransformed(cfg Config, kind string, normalized, opt, izra bool) Result 
 	q.Register(reg)
 	bases := capsule.AllocProcAreas(mem, cfg.Threads)
 	setup := mem.NewPort()
-	q.Init(setup, pqueue.DummyNode+cfg.SeedNodes)
-	if cfg.SeedNodes > 0 {
-		q.Seed(setup, pqueue.DummyNode+1, cfg.SeedNodes, func(i uint32) uint64 { return uint64(i) })
+	q.Init(setup, pqueue.DummyNode+seed)
+	if seed > 0 {
+		q.Seed(setup, pqueue.DummyNode+1, seed, func(i uint32) uint64 { return uint64(i) })
 	}
 	if izra {
 		for i := 0; i < cfg.Threads; i++ {
@@ -274,18 +212,19 @@ func runTransformed(cfg Config, kind string, normalized, opt, izra bool) Result 
 }
 
 func runLogQueue(cfg Config) Result {
+	seed := seedNodes(cfg)
 	mem := memFor(cfg, 0)
 	rt := proc.NewRuntime(mem, cfg.Threads)
-	arena := qnode.NewArena(mem, cfg.SeedNodes+8192*uint32(cfg.Threads))
+	arena := qnode.NewArena(mem, seed+8192*uint32(cfg.Threads))
 	setup := mem.NewPort()
 	q := logqueue.New(mem, setup, arena, cfg.Threads, 1)
-	if cfg.SeedNodes > 0 {
-		q.Seed(setup, 2, cfg.SeedNodes, func(i uint32) uint64 { return uint64(i) })
+	if seed > 0 {
+		q.Seed(setup, 2, seed, func(i uint32) uint64 { return uint64(i) })
 	}
 	start := time.Now()
 	rt.RunToCompletion(func(i int) proc.Program {
 		return func(p *proc.Proc) {
-			lo, hi := arena.Range(i, cfg.Threads, cfg.SeedNodes+1)
+			lo, hi := arena.Range(i, cfg.Threads, seed+1)
 			h := q.NewHandle(p.Mem(), i, lo, hi)
 			for k := 0; k < cfg.Pairs; k++ {
 				h.Enqueue(uint64(i)<<40 | uint64(k))
@@ -297,7 +236,8 @@ func runLogQueue(cfg Config) Result {
 }
 
 func runRomulus(cfg Config) Result {
-	ring := uint64(cfg.SeedNodes) + uint64(cfg.Threads)*16 + 1024
+	seed := seedNodes(cfg)
+	ring := uint64(seed) + uint64(cfg.Threads)*16 + 1024
 	words := romulus.QueueWords(ring, cfg.Threads)
 	mem := pmem.New(pmem.Config{
 		Words:      words*4 + 1<<16,
@@ -309,9 +249,9 @@ func runRomulus(cfg Config) Result {
 	setup := mem.NewPort()
 	tm := romulus.New(mem, setup, words, cfg.Threads)
 	q := romulus.NewQueue(tm, ring, cfg.Threads)
-	if cfg.SeedNodes > 0 {
+	if seed > 0 {
 		th := tm.NewHandle(setup, 0)
-		q.Seed(th, uint64(cfg.SeedNodes), func(i uint64) uint64 { return i })
+		q.Seed(th, uint64(seed), func(i uint64) uint64 { return i })
 	}
 	start := time.Now()
 	rt.RunToCompletion(func(i int) proc.Program {
@@ -326,6 +266,7 @@ func runRomulus(cfg Config) Result {
 	return collect(KindRomulus, cfg, rt, start)
 }
 
+// collect assembles a Result from a finished run.
 func collect(kind string, cfg Config, rt *proc.Runtime, start time.Time) Result {
 	elapsed := time.Since(start)
 	return Result{
@@ -335,76 +276,4 @@ func collect(kind string, cfg Config, rt *proc.Runtime, start time.Time) Result 
 		Elapsed: elapsed,
 		Stats:   rt.TotalStats(),
 	}
-}
-
-// Sweep measures every kind at every thread count.
-func Sweep(kinds []string, threads []int, cfg Config) ([]Result, error) {
-	var out []Result
-	for _, k := range kinds {
-		for _, t := range threads {
-			c := cfg
-			c.Threads = t
-			r, err := Run(k, c)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, r)
-		}
-	}
-	return out, nil
-}
-
-// Figures maps figure names to the queue kinds they compare.
-var Figures = map[string][]string{
-	"5": {KindIzraMSQ, KindGeneralIzra, KindNormalizedIzra},
-	"6": {KindGeneral, KindGeneralOpt, KindNormalized, KindNormalizedOpt, KindLogQueue, KindRomulus},
-	"7": {KindMSQ, KindGeneral, KindNormalized, KindNormalizedOpt, KindLogQueue, KindRomulus},
-	// "map" is not a paper figure: it sweeps the repository's second
-	// workload family (the recoverable hash map) against its volatile
-	// baseline, mirroring the Figure 7 queue comparison.
-	"map": {KindMapVolatile, KindPmap, KindPmapSharded},
-}
-
-// PrintTable renders results as the per-figure series the paper plots:
-// one row per thread count, one column per kind, in Mops/s, plus a
-// per-op persistence cost appendix.
-func PrintTable(w io.Writer, title string, results []Result) {
-	byKind := map[string]map[int]Result{}
-	kinds := []string{}
-	threadSet := map[int]bool{}
-	for _, r := range results {
-		if byKind[r.Kind] == nil {
-			byKind[r.Kind] = map[int]Result{}
-			kinds = append(kinds, r.Kind)
-		}
-		byKind[r.Kind][r.Threads] = r
-		threadSet[r.Threads] = true
-	}
-	threads := make([]int, 0, len(threadSet))
-	for t := range threadSet {
-		threads = append(threads, t)
-	}
-	sort.Ints(threads)
-
-	fmt.Fprintf(w, "== %s ==\n", title)
-	fmt.Fprintf(w, "throughput (Mops/s)\n%-8s", "threads")
-	for _, k := range kinds {
-		fmt.Fprintf(w, " %22s", k)
-	}
-	fmt.Fprintln(w)
-	for _, t := range threads {
-		fmt.Fprintf(w, "%-8d", t)
-		for _, k := range kinds {
-			fmt.Fprintf(w, " %22.3f", byKind[k][t].MopsPerSec())
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprintf(w, "per-operation costs at %d thread(s)\n", threads[0])
-	fmt.Fprintf(w, "%-24s %10s %10s %10s %10s\n", "kind", "flush/op", "fence/op", "cas/op", "bound/op")
-	for _, k := range kinds {
-		r := byKind[k][threads[0]]
-		fmt.Fprintf(w, "%-24s %10.2f %10.2f %10.2f %10.2f\n",
-			k, r.FlushesPerOp(), r.FencesPerOp(), r.CASesPerOp(), r.BoundariesPerOp())
-	}
-	fmt.Fprintln(w)
 }

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"delayfree/internal/workload"
 )
 
 // smallCfg keeps unit-test runs quick; the real parameters live in
@@ -12,22 +14,38 @@ func smallCfg() Config {
 	return Config{
 		Threads:    2,
 		Pairs:      300,
-		SeedNodes:  500,
 		FlushDelay: 10,
 		FenceDelay: 5,
-		ReadPct:    50,
-		MapKeys:    128,
-		MapShards:  2,
+		Params: workload.Params{
+			"seed-nodes": 500,
+			"read-pct":   50,
+			"map-keys":   128,
+			"map-shards": 2,
+			"stack-seed": 200,
+		},
 	}
 }
 
-func TestRunAllKinds(t *testing.T) {
-	for _, k := range AllKinds {
-		k := k
-		t.Run(k, func(t *testing.T) {
-			r, err := Run(k, smallCfg())
+// TestRegistrySmoke runs every registered kind — current and future
+// families alike — at a tiny config and asserts non-zero throughput
+// and sane stats, catching wiring regressions the moment a family is
+// registered.
+func TestRegistrySmoke(t *testing.T) {
+	benchers := workload.Benchers()
+	if len(benchers) < 16 {
+		t.Fatalf("only %d kinds registered", len(benchers))
+	}
+	for _, b := range benchers {
+		t.Run(b.Kind, func(t *testing.T) {
+			if b.Family == "" {
+				t.Fatal("kind has no family")
+			}
+			r, err := Run(b.Kind, smallCfg())
 			if err != nil {
 				t.Fatal(err)
+			}
+			if r.Kind != b.Kind {
+				t.Fatalf("result kind %q", r.Kind)
 			}
 			if r.Ops != 2*2*300 {
 				t.Fatalf("ops=%d", r.Ops)
@@ -37,6 +55,9 @@ func TestRunAllKinds(t *testing.T) {
 			}
 			if r.MopsPerSec() <= 0 {
 				t.Fatal("no throughput")
+			}
+			if r.Stats.Steps == 0 {
+				t.Fatal("no memory operations recorded")
 			}
 		})
 	}
@@ -54,24 +75,25 @@ func TestPersistenceCostOrdering(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Threads = 1
 	res := map[string]Result{}
-	for _, k := range AllKinds {
+	for _, k := range AllKinds() {
 		r, err := Run(k, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
 		res[k] = r
 	}
-	// The plain MSQ persists nothing, and neither does the volatile map
-	// baseline; the recoverable map pays real persistence work.
-	if res[KindMSQ].FlushesPerOp() != 0 {
-		t.Fatalf("msq flushes/op = %f", res[KindMSQ].FlushesPerOp())
+	// The volatile baselines persist nothing; every recoverable kind of
+	// each family pays real persistence work.
+	for _, k := range []string{KindMSQ, KindMapVolatile, KindStackVolatile} {
+		if res[k].FlushesPerOp() != 0 {
+			t.Fatalf("%s flushes/op = %f", k, res[k].FlushesPerOp())
+		}
 	}
-	if res[KindMapVolatile].FlushesPerOp() != 0 {
-		t.Fatalf("map-volatile flushes/op = %f", res[KindMapVolatile].FlushesPerOp())
-	}
-	if res[KindPmap].FlushesPerOp() <= 0 || res[KindPmap].BoundariesPerOp() <= 0 {
-		t.Fatalf("pmap persistence costs missing: %f flushes/op, %f boundaries/op",
-			res[KindPmap].FlushesPerOp(), res[KindPmap].BoundariesPerOp())
+	for _, k := range []string{KindPmap, KindPStack, KindPStackOpt} {
+		if res[k].FlushesPerOp() <= 0 || res[k].BoundariesPerOp() <= 0 {
+			t.Fatalf("%s persistence costs missing: %f flushes/op, %f boundaries/op",
+				k, res[k].FlushesPerOp(), res[k].BoundariesPerOp())
+		}
 	}
 	// Within a variant, manual flush placement beats the Izraelevitz
 	// construction's flush-every-access (the Figure 5 vs Figure 6
@@ -96,7 +118,8 @@ func TestPersistenceCostOrdering(t *testing.T) {
 			res[KindNormalizedIzra].FlushesPerOp(), res[KindIzraMSQ].FlushesPerOp())
 	}
 	// Figure 6 orderings: Opt variants fence less than their bases;
-	// Normalized boundaries fewer than General.
+	// Normalized boundaries fewer than General. The stack family
+	// inherits the same contrast.
 	if res[KindGeneralOpt].FencesPerOp() >= res[KindGeneral].FencesPerOp() {
 		t.Fatalf("general-opt fences %f >= general %f",
 			res[KindGeneralOpt].FencesPerOp(), res[KindGeneral].FencesPerOp())
@@ -109,12 +132,19 @@ func TestPersistenceCostOrdering(t *testing.T) {
 		t.Fatalf("normalized boundaries %f >= general %f",
 			res[KindNormalized].BoundariesPerOp(), res[KindGeneral].BoundariesPerOp())
 	}
+	// The stack's -opt variant selects compact one-line frames: fewer
+	// flushes per boundary (its fence count is unchanged — the stack has
+	// no fence-before-CAS elision sites).
+	if res[KindPStackOpt].FlushesPerOp() >= res[KindPStack].FlushesPerOp() {
+		t.Fatalf("pstack-opt flushes %f >= pstack %f",
+			res[KindPStackOpt].FlushesPerOp(), res[KindPStack].FlushesPerOp())
+	}
 }
 
 func TestSweepAndPrint(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Pairs = 100
-	res, err := Sweep([]string{KindMSQ, KindNormalizedOpt}, []int{1, 2}, cfg)
+	res, err := workload.Sweep([]string{KindMSQ, KindNormalizedOpt}, []int{1, 2}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +152,7 @@ func TestSweepAndPrint(t *testing.T) {
 		t.Fatalf("results: %d", len(res))
 	}
 	var buf bytes.Buffer
-	PrintTable(&buf, "test", res)
+	workload.PrintTable(&buf, "test", res)
 	out := buf.String()
 	for _, want := range []string{"msq", "normalized-opt", "threads", "flush/op"} {
 		if !strings.Contains(out, want) {
@@ -132,22 +162,22 @@ func TestSweepAndPrint(t *testing.T) {
 }
 
 func TestRecoveryStudy(t *testing.T) {
-	pts := RecoveryStudy([]uint32{10, 2000})
+	pts := workload.RecoveryStudy([]uint32{10, 2000})
 	if len(pts) != 2 {
 		t.Fatalf("points: %d", len(pts))
 	}
 	// LogQueue recovery grows with queue length.
-	if pts[1].LogQueueSteps < pts[0].LogQueueSteps*10 {
+	if pts[1].Steps["logqueue"] < pts[0].Steps["logqueue"]*10 {
 		t.Fatalf("logqueue recovery not O(n): %d -> %d",
-			pts[0].LogQueueSteps, pts[1].LogQueueSteps)
+			pts[0].Steps["logqueue"], pts[1].Steps["logqueue"])
 	}
 	// Capsule recovery is constant (within noise).
-	if pts[1].CapsuleSteps > pts[0].CapsuleSteps*2+16 {
+	if pts[1].Steps["capsule+rcas"] > pts[0].Steps["capsule+rcas"]*2+16 {
 		t.Fatalf("capsule recovery not O(1): %d -> %d",
-			pts[0].CapsuleSteps, pts[1].CapsuleSteps)
+			pts[0].Steps["capsule+rcas"], pts[1].Steps["capsule+rcas"])
 	}
 	var buf bytes.Buffer
-	PrintRecovery(&buf, pts)
+	workload.PrintRecovery(&buf, pts)
 	if !strings.Contains(buf.String(), "recovery latency") {
 		t.Fatal("missing header")
 	}
@@ -158,9 +188,9 @@ func TestMapReadMixShapesCost(t *testing.T) {
 	// per operation on the recoverable map.
 	reads := smallCfg()
 	reads.Threads = 1
-	reads.ReadPct = 95
+	reads.Params = reads.Params.Set("read-pct", 95)
 	writes := reads
-	writes.ReadPct = 0
+	writes.Params = reads.Params.Set("read-pct", 0)
 	r, err := Run(KindPmap, reads)
 	if err != nil {
 		t.Fatal(err)
@@ -174,26 +204,34 @@ func TestMapReadMixShapesCost(t *testing.T) {
 	}
 }
 
-func TestMapKindsSweep(t *testing.T) {
-	cfg := smallCfg()
-	cfg.Pairs = 100
-	res, err := Sweep(Figures["map"], []int{1, 2}, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(res) != 6 {
-		t.Fatalf("results: %d", len(res))
-	}
-	for _, r := range res {
-		if r.MopsPerSec() <= 0 {
-			t.Fatalf("%s@%d: no throughput", r.Kind, r.Threads)
+func TestFamilySweeps(t *testing.T) {
+	// Each non-queue family figure sweeps its volatile baseline against
+	// the recoverable kinds.
+	for _, fig := range []string{"map", "stack"} {
+		kinds, ok := workload.FigureKinds(fig)
+		if !ok {
+			t.Fatalf("figure %q not registered", fig)
+		}
+		cfg := smallCfg()
+		cfg.Pairs = 100
+		res, err := workload.Sweep(kinds, []int{1, 2}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 2*len(kinds) {
+			t.Fatalf("%s: results %d", fig, len(res))
+		}
+		for _, r := range res {
+			if r.MopsPerSec() <= 0 {
+				t.Fatalf("%s@%d: no throughput", r.Kind, r.Threads)
+			}
 		}
 	}
 }
 
 func TestAttiyaSpaceOption(t *testing.T) {
 	cfg := smallCfg()
-	cfg.Attiya = true
+	cfg.Params = cfg.Params.Set("attiya", 1)
 	r, err := Run(KindNormalized, cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -204,18 +242,18 @@ func TestAttiyaSpaceOption(t *testing.T) {
 }
 
 func TestFiguresDefined(t *testing.T) {
-	for fig, kinds := range Figures {
+	figures := workload.Figures()
+	for _, want := range []string{"5", "6", "7", "map", "stack"} {
+		if _, ok := figures[want]; !ok {
+			t.Fatalf("figure %q not registered", want)
+		}
+	}
+	for fig, kinds := range figures {
 		if len(kinds) < 2 {
 			t.Fatalf("figure %s has %d kinds", fig, len(kinds))
 		}
 		for _, k := range kinds {
-			found := false
-			for _, a := range AllKinds {
-				if a == k {
-					found = true
-				}
-			}
-			if !found {
+			if _, ok := workload.LookupBencher(k); !ok {
 				t.Fatalf("figure %s references unknown kind %s", fig, k)
 			}
 		}

@@ -8,31 +8,59 @@ import (
 	"delayfree/internal/pmap"
 	"delayfree/internal/pmem"
 	"delayfree/internal/proc"
+	"delayfree/internal/workload"
 )
 
 // The map workload family: every thread runs Config.Pairs*2 operations
-// against a pre-filled map of Config.MapKeys keys, Config.ReadPct
-// percent of them Gets and the rest a rotating Put/Delete/Cas mix, with
-// per-thread deterministic RNG. The three kinds bracket the cost of
+// against a pre-filled map of map-keys keys, read-pct percent of them
+// Gets and the rest a rotating Put/Delete/Cas mix, with per-thread
+// deterministic RNG. The three kinds bracket the cost of
 // recoverability exactly as the queue kinds do: map-volatile is the
 // unprotected baseline, pmap the full capsule+writable-CAS map, and
-// pmap-sharded the same striped across MapShards segments.
+// pmap-sharded the same striped across map-shards segments.
+
+// Kinds of the map family.
+const (
+	KindPmap        = "pmap"
+	KindPmapSharded = "pmap-sharded"
+	KindMapVolatile = "map-volatile"
+)
+
+func init() {
+	workload.RegisterParams(
+		workload.Param{Name: "read-pct", Default: 90,
+			Help: "map family: percentage of Get operations"},
+		workload.Param{Name: "map-keys", Default: 2048,
+			Help: "map family: key-space size (table sized for load factor 1/2)"},
+		workload.Param{Name: "map-shards", Default: 4,
+			Help: "map family: segments of the pmap-sharded kind"},
+	)
+	for _, kind := range []string{KindMapVolatile, KindPmap, KindPmapSharded} {
+		workload.RegisterBencher(workload.Bencher{
+			Kind:   kind,
+			Family: "map",
+			Run:    func(cfg Config) Result { return runMapKind(kind, cfg) },
+		})
+	}
+	workload.RegisterFigure("map", KindMapVolatile, KindPmap, KindPmapSharded)
+}
 
 // runMapKind dispatches one of the map kinds.
 func runMapKind(kind string, cfg Config) Result {
-	keys := cfg.MapKeys
+	keys := int(cfg.Param("map-keys"))
 	if keys <= 0 {
 		keys = 1024
 	}
 	shards := 1
 	if kind == KindPmapSharded {
-		shards = cfg.MapShards
+		shards = int(cfg.Param("map-shards"))
 		if shards <= 1 {
 			shards = 4
 		}
 	}
 	buckets := 2 * keys // load factor ½ after pre-fill
 	ops := cfg.Pairs * 2
+	readPct := int(cfg.Param("read-pct"))
 
 	words := pmap.Words(buckets, shards, cfg.Threads) +
 		uint64(cfg.Threads)*capsule.ProcWords + uint64(keys)*4 + 1<<16
@@ -57,7 +85,7 @@ func runMapKind(kind string, cfg Config) Result {
 				rng := rand.New(rand.NewSource(int64(i) + 1))
 				for n := 0; n < ops; n++ {
 					k := uint64(rng.Intn(keys) + 1)
-					if rng.Intn(100) < cfg.ReadPct {
+					if rng.Intn(100) < readPct {
 						vm.Get(port, k)
 						continue
 					}
@@ -106,7 +134,7 @@ func runMapKind(kind string, cfg Config) Result {
 			rng := rand.New(rand.NewSource(int64(i) + 1))
 			for n := 0; n < ops; n++ {
 				k := uint64(rng.Intn(keys) + 1)
-				if rng.Intn(100) < cfg.ReadPct {
+				if rng.Intn(100) < readPct {
 					mach.Invoke(m.Routine(), m.GetEntry(), k)
 					continue
 				}

@@ -1,9 +1,6 @@
 package harness
 
 import (
-	"fmt"
-	"io"
-
 	"delayfree/internal/capsule"
 	"delayfree/internal/logqueue"
 	"delayfree/internal/pmem"
@@ -11,31 +8,25 @@ import (
 	"delayfree/internal/proc"
 	"delayfree/internal/qnode"
 	"delayfree/internal/rcas"
+	"delayfree/internal/workload"
 )
 
-// RecoveryPoint is one point of the recovery-latency study (experiment
-// E6): how many memory operations each scheme needs to recover a
-// process after a crash, as a function of queue length. The paper's
-// claim: LogQueue recovery traverses the entire queue, while the
-// transformations reload one capsule and query one recoverable CAS —
-// constant, plus an O(P) announcement scan when using the Attiya CAS.
-type RecoveryPoint struct {
-	QueueLen      uint32
-	LogQueueSteps uint64
-	CapsuleSteps  uint64
-}
+// Recovery-latency probes (experiment E6): how many memory operations
+// each scheme needs to recover a process after a crash, as a function
+// of structure size. The paper's claim: LogQueue recovery traverses the
+// entire queue, while the transformations reload one capsule and query
+// one recoverable CAS — constant, plus an O(P) announcement scan when
+// using the Attiya CAS. Registered as workload.RecoveryProbes; the
+// study itself (workload.RecoveryStudy) iterates whatever is
+// registered.
 
-// RecoveryStudy measures recovery cost at each queue length.
-func RecoveryStudy(lengths []uint32) []RecoveryPoint {
-	out := make([]RecoveryPoint, 0, len(lengths))
-	for _, n := range lengths {
-		out = append(out, RecoveryPoint{
-			QueueLen:      n,
-			LogQueueSteps: logQueueRecoverySteps(n),
-			CapsuleSteps:  capsuleRecoverySteps(n),
-		})
-	}
-	return out
+func init() {
+	workload.RegisterRecoveryProbe(workload.RecoveryProbe{
+		Name: "logqueue", Steps: logQueueRecoverySteps,
+	})
+	workload.RegisterRecoveryProbe(workload.RecoveryProbe{
+		Name: "capsule+rcas", Steps: capsuleRecoverySteps,
+	})
 }
 
 // logQueueRecoverySteps seeds a LogQueue with n nodes, announces an
@@ -108,14 +99,4 @@ func capsuleRecoverySteps(n uint32) uint64 {
 		}
 	})
 	return recoverySteps
-}
-
-// PrintRecovery renders the study.
-func PrintRecovery(w io.Writer, points []RecoveryPoint) {
-	fmt.Fprintln(w, "== recovery latency (memory operations to resume after a crash) ==")
-	fmt.Fprintf(w, "%-12s %18s %18s\n", "queue-len", "logqueue", "capsule+rcas")
-	for _, p := range points {
-		fmt.Fprintf(w, "%-12d %18d %18d\n", p.QueueLen, p.LogQueueSteps, p.CapsuleSteps)
-	}
-	fmt.Fprintln(w)
 }

@@ -8,6 +8,7 @@ import (
 	"delayfree/internal/capsule"
 	"delayfree/internal/pmem"
 	"delayfree/internal/proc"
+	"delayfree/internal/workload"
 )
 
 // OpKind enumerates scripted map operations.
@@ -282,4 +283,41 @@ func CrashStress(cfg StressConfig) (StressReport, error) {
 		}
 	}
 	return report, nil
+}
+
+func init() {
+	// Register with the workload registry so cmd/crashstress discovers
+	// the map family generically. The generic StressConfig carries the
+	// common knobs; the stress geometry (shards, buckets, keys) is the
+	// same one internal/pmap/crash_test.go exercises, and zero fields
+	// select the family defaults.
+	workload.RegisterStresser(workload.Stresser{
+		Name:   "pmap",
+		Family: "map",
+		Run: func(cfg workload.StressConfig) (workload.StressReport, error) {
+			sc := StressConfig{
+				P:          cfg.Procs,
+				Shards:     2,
+				Buckets:    256,
+				OpsPerProc: cfg.Ops,
+				Crashes:    cfg.Crashes,
+				Seed:       cfg.Seed,
+				Shared:     cfg.Shared,
+				Opt:        cfg.Shared,
+				MinGap:     cfg.MinGap,
+				MaxGap:     cfg.MaxGap,
+			}
+			if sc.P <= 0 {
+				sc.P = 4
+			}
+			if sc.OpsPerProc == 0 {
+				sc.OpsPerProc = 300
+			}
+			if sc.Crashes == 0 {
+				sc.Crashes = 250
+			}
+			rep, err := CrashStress(sc)
+			return workload.StressReport(rep), err
+		},
+	})
 }

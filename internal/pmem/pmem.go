@@ -307,6 +307,10 @@ func (m *Memory) Crash() {
 	for li := range m.lines {
 		ln := &m.lines[li]
 		ln.mu.Lock()
+		// A line diverges from the durable image only while it has
+		// unpersisted writes (stores log; flushLine syncs and clears), so
+		// clean lines need no work — crashes cost O(dirty lines), not
+		// O(memory size).
 		if len(ln.log) > 0 {
 			k := m.rng.Intn(len(ln.log) + 1)
 			base := uint64(li) * WordsPerLine
@@ -314,11 +318,10 @@ func (m *Memory) Crash() {
 				atomic.StoreUint64(&m.persisted[base+uint64(w.off)], w.val)
 			}
 			ln.log = ln.log[:0]
-		}
-		// The volatile cache is lost: visible state = durable state.
-		base := uint64(li) * WordsPerLine
-		for off := uint64(0); off < WordsPerLine; off++ {
-			atomic.StoreUint64(&m.words[base+off], atomic.LoadUint64(&m.persisted[base+off]))
+			// The volatile cache is lost: visible state = durable state.
+			for off := uint64(0); off < WordsPerLine; off++ {
+				atomic.StoreUint64(&m.words[base+off], atomic.LoadUint64(&m.persisted[base+off]))
+			}
 		}
 		ln.mu.Unlock()
 	}
@@ -339,15 +342,17 @@ func (m *Memory) CrashLossy(evictAll bool) {
 	for li := range m.lines {
 		ln := &m.lines[li]
 		ln.mu.Lock()
-		base := uint64(li) * WordsPerLine
-		if evictAll {
-			for _, w := range ln.log {
-				atomic.StoreUint64(&m.persisted[base+uint64(w.off)], w.val)
+		if len(ln.log) > 0 { // clean lines already match the durable image
+			base := uint64(li) * WordsPerLine
+			if evictAll {
+				for _, w := range ln.log {
+					atomic.StoreUint64(&m.persisted[base+uint64(w.off)], w.val)
+				}
 			}
-		}
-		ln.log = ln.log[:0]
-		for off := uint64(0); off < WordsPerLine; off++ {
-			atomic.StoreUint64(&m.words[base+off], atomic.LoadUint64(&m.persisted[base+off]))
+			ln.log = ln.log[:0]
+			for off := uint64(0); off < WordsPerLine; off++ {
+				atomic.StoreUint64(&m.words[base+off], atomic.LoadUint64(&m.persisted[base+off]))
+			}
 		}
 		ln.mu.Unlock()
 	}

@@ -243,11 +243,30 @@ const (
 // values pid<<40|counter. Install it with args = (pairs). The returned
 // id is the routine to install.
 func RegisterPairsDriver(reg *capsule.Registry, q Queue) capsule.RoutineID {
+	return registerPairsDriver(reg, q, 0, nil)
+}
+
+// RegisterQuotaPairsDriver is RegisterPairsDriver with the crash-stress
+// repetition hook: when a batch of pairs completes and keepGoing still
+// reports true, the driver starts another batch of `pairs` pairs (the
+// value counter keeps increasing, so values stay unique) — crash-stress
+// runs use this to keep the workload alive until the crash quota is
+// met. keepGoing may be read at different times by a repeated dispatch
+// capsule; that is safe because the exactness check depends only on the
+// *persisted* counter, never on when the driver decided to stop.
+func RegisterQuotaPairsDriver(reg *capsule.Registry, q Queue, pairs uint64, keepGoing func() bool) capsule.RoutineID {
+	return registerPairsDriver(reg, q, pairs, keepGoing)
+}
+
+func registerPairsDriver(reg *capsule.Registry, q Queue, pairs uint64, keepGoing func() bool) capsule.RoutineID {
 	return reg.Register("pairs-driver", false,
-		func(c *capsule.Ctx) { // pc0: enqueue or finish
+		func(c *capsule.Ctx) { // pc0: enqueue, refill the batch, or finish
 			if c.Local(drvRemaining) == 0 {
-				c.Finish(c.Local(drvSink))
-				return
+				if keepGoing == nil || !keepGoing() {
+					c.Finish(c.Local(drvSink))
+					return
+				}
+				c.SetLocal(drvRemaining, pairs)
 			}
 			v := uint64(c.P().ID())<<40 | c.Local(drvCounter)
 			c.SetLocal(drvCounter, c.Local(drvCounter)+1)

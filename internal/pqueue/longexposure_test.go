@@ -1,0 +1,34 @@
+package pqueue
+
+import (
+	"testing"
+
+	"delayfree/internal/workload"
+)
+
+// TestQueueLatentViolationKnownIssue documents a latent queue-family
+// exactness violation in the shared-cache model, surfaced by the
+// workload registry's crash stress once its check was hardened to
+// audit *durable* state (a final full-system crash before the
+// comparison): at crash-prone seeds (e.g. 3, 10, 14, 27 with Procs 2,
+// Ops 20), a round ends with one value still in the queue while the
+// persisted dequeue accounting shows another value delivered twice —
+// the same dup+stranded signature the stack family exhibited before
+// the rcas evidence-ordering and qnode allocator-fence fixes, which
+// the stack now passes 120/120 under identical machinery. Long
+// exposure (hundreds of pairs, ~80+ crashes) reproduces without the
+// durable audit and occasionally livelocks a retry loop, so the
+// corruption is real, queue-specific (helping/tail paths are the
+// suspects), and pre-dates the registry work. Tracked in ROADMAP.md
+// open items; CI's crashstress smoke runs at the default seed, whose
+// crash points avoid the lethal window (verified over 30 consecutive
+// runs).
+func TestQueueLatentViolationKnownIssue(t *testing.T) {
+	t.Skip("known latent queue-family exactness violation under shared-model crashes; see ROADMAP.md open items")
+	for _, seed := range []int64{3, 10, 14, 27} {
+		if _, err := CrashStress(func(cfg Config) Queue { return NewGeneral(cfg) },
+			workload.StressConfig{Procs: 2, Ops: 20, Seed: seed, Shared: true}); err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+		}
+	}
+}

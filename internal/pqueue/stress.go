@@ -1,0 +1,167 @@
+package pqueue
+
+import (
+	"fmt"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+	"delayfree/internal/workload"
+)
+
+// Crash-stress for the queue family: every transformed variant runs
+// balanced enqueue-dequeue pairs through the persisted pairs driver
+// under randomized crash injection (independent process crashes in the
+// private model, full-system crashes in the shared-cache model), and
+// the exactness check demands that every process completed every
+// operation exactly once — the queue drains empty and the persisted
+// sum of dequeued values equals the sum of enqueued values implied by
+// each process's persisted enqueue counter. With a crash quota set,
+// the pair batches repeat until enough crash events (full-system
+// crashes in the shared model, process restarts in the private model)
+// have been absorbed, so every round genuinely exercises recovery.
+// Each variant registers with the workload registry; cmd/crashstress
+// runs whatever is registered.
+
+// CrashStress runs one crash-injection exactness round for the variant
+// built by mk (zero cfg fields select the family defaults; Crashes = 0
+// means no quota, a single batch of pairs).
+func CrashStress(mk func(Config) Queue, cfg workload.StressConfig) (workload.StressReport, error) {
+	if cfg.Ops < 0 || cfg.Crashes < 0 {
+		return workload.StressReport{}, fmt.Errorf("pqueue: negative Ops/Crashes (%d/%d)", cfg.Ops, cfg.Crashes)
+	}
+	P := cfg.Procs
+	if P <= 0 {
+		P = 4
+	}
+	pairs := uint64(cfg.Ops)
+	if pairs == 0 {
+		pairs = 30
+	}
+	minGap, maxGap := cfg.MinGap, cfg.MaxGap
+	if minGap == 0 {
+		minGap = 120
+	}
+	if maxGap < minGap {
+		maxGap = 2500
+		if maxGap < minGap {
+			maxGap = 2 * minGap
+		}
+	}
+	mode := pmem.Private
+	if cfg.Shared {
+		mode = pmem.Shared
+	}
+	// Arena headroom: live nodes are bounded by in-flight pairs, but a
+	// capsule repetition can leak one node per restart (see qnode), so
+	// budget for the crash quota; quota-less rounds see few restarts.
+	arenaCap := uint32(P)*64 + uint32(cfg.Crashes)*uint32(P)*2 + 8192
+	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(P)*capsule.ProcWords + 1<<15
+	mem := pmem.New(pmem.Config{
+		Words:   words,
+		Mode:    mode,
+		Checked: true,
+		Seed:    cfg.Seed,
+	})
+	rt := proc.NewRuntime(mem, P)
+	rt.SystemCrashMode = cfg.Shared
+	arena := qnode.NewArena(mem, arenaCap)
+	q := mk(Config{
+		Mem:     mem,
+		Space:   rcas.NewSpace(mem, P),
+		Arena:   arena,
+		P:       P,
+		Durable: cfg.Shared,
+	})
+	reg := capsule.NewRegistry()
+	q.Register(reg)
+	bases := capsule.AllocProcAreas(mem, P)
+	q.Init(rt.Proc(0).Mem(), DummyNode)
+	// Crash events: full-system crashes when the runtime gangs crashes
+	// together (shared model), individual restarts otherwise.
+	crashEvents := func() uint64 {
+		if cfg.Shared {
+			return rt.SystemCrashes()
+		}
+		var n uint64
+		for i := 0; i < P; i++ {
+			n += rt.Proc(i).Restarts()
+		}
+		return n
+	}
+	var keepGoing func() bool
+	if cfg.Crashes > 0 {
+		keepGoing = func() bool { return crashEvents() < uint64(cfg.Crashes) }
+	}
+	drv := RegisterQuotaPairsDriver(reg, q, pairs, keepGoing)
+	prog := InstallDriver(rt, reg, drv, bases, pairs)
+	for i := 0; i < P; i++ {
+		rt.Proc(i).AutoCrash(cfg.Seed*31+int64(i), minGap, maxGap)
+	}
+	rt.RunToCompletion(prog)
+	for i := 0; i < P; i++ {
+		rt.Proc(i).Disarm()
+	}
+
+	// A final crash drops anything left unfenced; the checks below
+	// therefore audit the *durable* state (as the map and stack
+	// stressers do).
+	rt.CrashSystem()
+
+	report := workload.StressReport{Crashes: rt.SystemCrashes()}
+	for i := 0; i < P; i++ {
+		report.Restarts += rt.Proc(i).Restarts()
+	}
+
+	port := rt.Proc(0).Mem()
+	if got := q.Len(port); got != 0 {
+		return report, fmt.Errorf("queue holds %d values after balanced pairs: %x", got, q.Drain(port))
+	}
+	var totalSink, wantSink uint64
+	for i := 0; i < P; i++ {
+		m := capsule.NewMachine(rt.Proc(i), reg, bases[i])
+		depth, pc, locals := m.LoadState()
+		if depth != 0 || pc != capsule.PCDone {
+			return report, fmt.Errorf("proc %d did not finish: depth=%d pc=%d", i, depth, pc)
+		}
+		n := locals[drvCounter] // persisted enqueue count
+		if n < pairs {
+			return report, fmt.Errorf("proc %d ran %d pairs, batch demands at least %d", i, n, pairs)
+		}
+		report.Ops += 2 * n
+		totalSink += locals[drvSink]
+		for k := uint64(0); k < n; k++ {
+			wantSink += uint64(i)<<40 | k
+		}
+	}
+	if totalSink != wantSink {
+		return report, fmt.Errorf("dequeued-value sum %d, want %d (lost or duplicated operations)", totalSink, wantSink)
+	}
+	if cfg.Crashes > 0 && crashEvents() < uint64(cfg.Crashes) {
+		return report, fmt.Errorf("only %d crash events absorbed, want %d", crashEvents(), cfg.Crashes)
+	}
+	return report, nil
+}
+
+func init() {
+	variants := []struct {
+		name string
+		mk   func(cfg Config) Queue
+	}{
+		{"general", func(cfg Config) Queue { return NewGeneral(cfg) }},
+		{"general-opt", func(cfg Config) Queue { cfg.Opt = true; return NewGeneral(cfg) }},
+		{"normalized", func(cfg Config) Queue { return NewNormalized(cfg) }},
+		{"normalized-opt", func(cfg Config) Queue { cfg.Opt = true; return NewNormalized(cfg) }},
+	}
+	for _, v := range variants {
+		workload.RegisterStresser(workload.Stresser{
+			Name:   v.name,
+			Family: "queue",
+			Run: func(cfg workload.StressConfig) (workload.StressReport, error) {
+				return CrashStress(v.mk, cfg)
+			},
+		})
+	}
+}

@@ -77,14 +77,36 @@ func New(cfg Config) *Stack {
 	return s
 }
 
-// Init writes the empty-stack state and creates per-process allocators.
-func (s *Stack) Init(port *pmem.Port) {
+// Init writes the empty-stack state and creates per-process allocators
+// over disjoint arena ranges, skipping firstReserved indices (used for
+// pre-seeded contents; pass 0 when not seeding). Must run before the
+// processes start.
+func (s *Stack) Init(port *pmem.Port, firstReserved uint32) {
 	rcas.InitCell(port, s.top, 0, rcas.Alias(0, s.nproc), 0)
 	port.FlushFence(s.top)
 	for i := 0; i < s.nproc; i++ {
-		lo, hi := s.arena.Range(i, s.nproc, 0)
+		lo, hi := s.arena.Range(i, s.nproc, firstReserved)
 		s.pa[i] = qnode.NewPersistentAlloc(s.mem, port, s.arena, lo, hi)
 	}
+}
+
+// Seed pre-fills the stack with n values from gen using arena nodes
+// [start, start+n); gen(n-1) ends up on top. Mirrors the queues'
+// pre-seeded initial contents. Must run after Init (with those nodes
+// reserved) and before concurrent use.
+func (s *Stack) Seed(port *pmem.Port, start, n uint32, gen func(i uint32) uint64) {
+	alias := rcas.Alias(0, s.nproc)
+	prev := uint32(rcas.Val(port.Read(s.top)))
+	for i := uint32(0); i < n; i++ {
+		node := start + i
+		port.Write(s.arena.Val(node), gen(i))
+		rcas.InitCell(port, s.arena.Next(node), uint64(prev), alias, uint64(i+1))
+		prev = node
+	}
+	t := port.Read(s.top)
+	port.Write(s.top, rcas.Pack(uint64(prev), alias, rcas.Seq(t)+1))
+	port.Flush(s.top)
+	port.Fence()
 }
 
 // Register registers the push/pop routine; PushEntry and PopEntry give
@@ -221,4 +243,16 @@ func (s *Stack) Len(port *pmem.Port) int {
 		i = uint32(rcas.Val(port.Read(s.arena.Next(i))))
 	}
 	return n
+}
+
+// Drain returns the values currently in the stack, top first, by
+// traversal; quiescent test/crash-stress helper.
+func (s *Stack) Drain(port *pmem.Port) []uint64 {
+	var out []uint64
+	i := uint32(rcas.Val(port.Read(s.top)))
+	for i != 0 {
+		out = append(out, port.Read(s.arena.Val(i)))
+		i = uint32(rcas.Val(port.Read(s.arena.Next(i))))
+	}
+	return out
 }

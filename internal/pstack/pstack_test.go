@@ -35,7 +35,7 @@ func newEnv(t testing.TB, P int, mode pmem.Mode, seed int64, opt, durable bool) 
 	e.reg = capsule.NewRegistry()
 	e.s.Register(e.reg)
 	e.bases = capsule.AllocProcAreas(mem, P)
-	e.s.Init(rt.Proc(0).Mem())
+	e.s.Init(rt.Proc(0).Mem(), 0)
 	return e
 }
 

@@ -1,0 +1,238 @@
+package pstack
+
+import (
+	"fmt"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+	"delayfree/internal/workload"
+)
+
+// Crash-stress for the stack family, mirroring the pmap CrashStress
+// pattern: P processes run balanced push-pop pairs through a persisted
+// capsule driver under randomized step-count crash injection —
+// full-system crashes in the shared-cache model, independent
+// per-process crashes in the private model; the scripts loop until the
+// crash quota is met so every crash hits live operations. Pushed values are
+// unique (pid<<40|k with k the pair index), so the exactness check is a
+// conservation argument over the *persisted* driver accounting:
+//
+//	pushes - pops = nodes left in the stack, and
+//	sum(pushed) - sum(popped) = sum(values drained from the stack),
+//
+// with every drained value decoding to a (pid, k) its driver actually
+// persisted, exactly once. Any lost, duplicated or corrupted operation
+// breaks the count or the sum.
+
+// Driver slots: 1 = pair index (persisted progress), 2/3 = pop results,
+// 4 = sum of popped values, 5 = successful pops, 6 = empty pops.
+const (
+	sdIdx   = 1
+	sdPopOK = 2
+	sdPopV  = 3
+	sdSum   = 4
+	sdPops  = 5
+	sdEmpty = 6
+)
+
+// valueTag packs process pid's k-th pushed value.
+func valueTag(pid int, k uint64) uint64 { return uint64(pid)<<40 | k }
+
+// RegisterStressDriver registers a depth-0 routine running push-pop
+// pairs with uniquely tagged values, persisting the pair index and the
+// pop accounting at each boundary so a crashed process resumes exactly
+// where it stopped. With keepGoing non-nil the pairs continue past
+// `pairs` until a pass completes and keepGoing() reports false.
+func RegisterStressDriver(reg *capsule.Registry, s *Stack, pairs uint64, keepGoing func() bool) capsule.RoutineID {
+	return reg.Register("pstack-stress-driver", false,
+		func(c *capsule.Ctx) { // pc0: push the next tagged value or finish
+			i := c.Local(sdIdx)
+			if i >= pairs && (keepGoing == nil || !keepGoing()) {
+				c.Finish()
+				return
+			}
+			c.Call(s.Routine(), s.PushEntry(), 1, []uint64{valueTag(c.P().ID(), i)}, nil)
+		},
+		func(c *capsule.Ctx) { // pc1: pop
+			c.Call(s.Routine(), s.PopEntry(), 2, nil, []int{sdPopOK, sdPopV})
+		},
+		func(c *capsule.Ctx) { // pc2: account and loop
+			if c.Local(sdPopOK) != 0 {
+				c.SetLocal(sdSum, c.Local(sdSum)+c.Local(sdPopV))
+				c.SetLocal(sdPops, c.Local(sdPops)+1)
+			} else {
+				c.SetLocal(sdEmpty, c.Local(sdEmpty)+1)
+			}
+			c.SetLocal(sdIdx, c.Local(sdIdx)+1)
+			c.Boundary(0)
+		},
+	)
+}
+
+// CrashStress runs one crash-injection exactness round under cfg (zero
+// fields select the family defaults) and reports what it absorbed. It
+// is registered with the workload registry as stresser "pstack".
+func CrashStress(cfg workload.StressConfig) (workload.StressReport, error) {
+	if cfg.Ops < 0 || cfg.Crashes < 0 {
+		return workload.StressReport{}, fmt.Errorf("pstack: negative Ops/Crashes (%d/%d)", cfg.Ops, cfg.Crashes)
+	}
+	P := cfg.Procs
+	if P <= 0 {
+		P = 4
+	}
+	pairs := uint64(cfg.Ops)
+	if pairs == 0 {
+		pairs = 200
+	}
+	quota := cfg.Crashes
+	if quota == 0 {
+		quota = 250
+	}
+	mode := pmem.Private
+	if cfg.Shared {
+		mode = pmem.Shared
+	}
+	// Arena headroom: live nodes are bounded by in-flight pairs, but a
+	// push-capsule repetition can leak one node per restart (see qnode),
+	// so budget for the crash quota too.
+	arenaCap := uint32(P)*64 + uint32(quota)*uint32(P)*2 + 4096
+	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(P)*capsule.ProcWords + 1<<15
+	mem := pmem.New(pmem.Config{
+		Words:   words,
+		Mode:    mode,
+		Checked: true,
+		Seed:    cfg.Seed,
+	})
+	rt := proc.NewRuntime(mem, P)
+	// Shared rounds gang crashes into full-system failures; private
+	// rounds inject independent per-process crashes (the paper's PPM
+	// failure mode), so one process recovers while peers keep mutating.
+	rt.SystemCrashMode = cfg.Shared
+	arena := qnode.NewArena(mem, arenaCap)
+	s := New(Config{
+		Mem:     mem,
+		Space:   rcas.NewSpace(mem, P),
+		Arena:   arena,
+		P:       P,
+		Durable: cfg.Shared,
+		Opt:     cfg.Shared,
+	})
+	reg := capsule.NewRegistry()
+	s.Register(reg)
+	bases := capsule.AllocProcAreas(mem, P)
+	s.Init(rt.Proc(0).Mem(), 0)
+	// Crash events: full-system crashes when ganged (shared model),
+	// individual restarts otherwise.
+	crashEvents := func() uint64 {
+		if cfg.Shared {
+			return rt.SystemCrashes()
+		}
+		var n uint64
+		for i := 0; i < P; i++ {
+			n += rt.Proc(i).Restarts()
+		}
+		return n
+	}
+	drv := RegisterStressDriver(reg, s, pairs, func() bool {
+		return crashEvents() < uint64(quota)
+	})
+	for i := 0; i < P; i++ {
+		capsule.Install(rt.Proc(i).Mem(), bases[i], reg, drv)
+	}
+
+	// Step-based crash injection: the minimum gap must leave room to
+	// complete a capsule after a restart wave or the run livelocks. The
+	// stack's capsules are O(1) (single-cell CAS generators, constant
+	// recovery), so a flat floor scaled by P suffices.
+	minGap, maxGap := cfg.MinGap, cfg.MaxGap
+	if minGap == 0 {
+		minGap = 1200 + int64(P)*200
+	}
+	if maxGap < minGap {
+		maxGap = 4 * minGap
+	}
+	for i := 0; i < P; i++ {
+		rt.Proc(i).AutoCrash(cfg.Seed*31+int64(i), minGap, maxGap)
+	}
+
+	rt.RunToCompletion(func(i int) proc.Program {
+		return func(p *proc.Proc) {
+			capsule.NewMachine(p, reg, bases[i]).Run()
+		}
+	})
+	for i := 0; i < P; i++ {
+		rt.Proc(i).Disarm()
+	}
+
+	// A final crash drops anything left unfenced; the checks below
+	// therefore audit the *durable* state.
+	rt.CrashSystem()
+
+	report := workload.StressReport{Crashes: rt.SystemCrashes()}
+	for i := 0; i < P; i++ {
+		report.Restarts += rt.Proc(i).Restarts()
+	}
+	if crashEvents() < uint64(quota) {
+		return report, fmt.Errorf("only %d crash events absorbed, want %d", crashEvents(), quota)
+	}
+
+	// Shadow accounting from each process's persisted driver state.
+	var pushCount, pushSum, popCount, popSum uint64
+	perProc := make([]uint64, P) // persisted pair counts, for value validation
+	for i := 0; i < P; i++ {
+		mach := capsule.NewMachine(rt.Proc(i), reg, bases[i])
+		depth, pc, locals := mach.LoadState()
+		if depth != 0 || pc != capsule.PCDone {
+			return report, fmt.Errorf("process %d did not finish: depth=%d pc=%d", i, depth, pc)
+		}
+		n := locals[sdIdx]
+		if n < pairs {
+			return report, fmt.Errorf("process %d ran %d pairs, script demands at least %d", i, n, pairs)
+		}
+		perProc[i] = n
+		pushCount += n
+		for k := uint64(0); k < n; k++ {
+			pushSum += valueTag(i, k)
+		}
+		popCount += locals[sdPops]
+		popSum += locals[sdSum]
+		report.Ops += 2 * n
+	}
+
+	port := rt.Proc(0).Mem()
+	left := s.Drain(port)
+	if pushCount-popCount != uint64(len(left)) {
+		return report, fmt.Errorf("stack holds %d nodes, conservation demands %d (pushes=%d pops=%d)",
+			len(left), pushCount-popCount, pushCount, popCount)
+	}
+	var leftSum uint64
+	seen := map[uint64]bool{}
+	for _, v := range left {
+		pid := int(v >> 40)
+		k := v & (1<<40 - 1)
+		if pid >= P || k >= perProc[pid] {
+			return report, fmt.Errorf("stack holds value %#x never durably pushed (pid=%d k=%d)", v, pid, k)
+		}
+		if seen[v] {
+			return report, fmt.Errorf("stack holds value %#x twice", v)
+		}
+		seen[v] = true
+		leftSum += v
+	}
+	if popSum+leftSum != pushSum {
+		return report, fmt.Errorf("value sums: popped %d + left %d != pushed %d (lost or duplicated operations)",
+			popSum, leftSum, pushSum)
+	}
+	return report, nil
+}
+
+func init() {
+	workload.RegisterStresser(workload.Stresser{
+		Name:   "pstack",
+		Family: "stack",
+		Run:    CrashStress,
+	})
+}

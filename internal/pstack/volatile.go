@@ -1,0 +1,94 @@
+package pstack
+
+import (
+	"delayfree/internal/pmem"
+	"delayfree/internal/qnode"
+)
+
+// Volatile is the unprotected Treiber stack: tagged top pointer, plain
+// reads and writes, no capsules, no recoverable CAS, no flushes. It is
+// what the stack-volatile benchmark kind measures against, exactly as
+// the volatile MSQ anchors the queue figures and the volatile
+// open-addressing map anchors the map figures.
+type Volatile struct {
+	arena *qnode.Arena
+	top   pmem.Addr // packed (node index, ABA tag), own line
+}
+
+func vpack(idx, tag uint32) uint64 { return uint64(idx) | uint64(tag)<<32 }
+func vidx(w uint64) uint32         { return uint32(w) }
+func vtag(w uint64) uint32         { return uint32(w >> 32) }
+
+// NewVolatile builds the baseline over the given arena.
+func NewVolatile(mem *pmem.Memory, port *pmem.Port, arena *qnode.Arena) *Volatile {
+	s := &Volatile{arena: arena, top: mem.AllocLines(1)}
+	port.Write(s.top, vpack(0, 0))
+	return s
+}
+
+// Seed pre-fills the stack with n values from gen using arena nodes
+// [start, start+n); gen(n-1) ends up on top. Quiescent setup only.
+func (s *Volatile) Seed(port *pmem.Port, start, n uint32, gen func(i uint32) uint64) {
+	t := port.Read(s.top)
+	prev := vidx(t)
+	for i := uint32(0); i < n; i++ {
+		node := start + i
+		port.Write(s.arena.Val(node), gen(i))
+		port.Write(s.arena.Next(node), uint64(prev))
+		prev = node
+	}
+	port.Write(s.top, vpack(prev, vtag(t)+1))
+}
+
+// VHandle is a per-thread handle with a private node allocator.
+type VHandle struct {
+	s     *Volatile
+	port  *pmem.Port
+	alloc *qnode.VolatileAlloc
+}
+
+// NewHandle creates a handle allocating from arena range [lo, hi).
+func (s *Volatile) NewHandle(port *pmem.Port, lo, hi uint32) *VHandle {
+	return &VHandle{s: s, port: port, alloc: qnode.NewVolatileAlloc(s.arena, lo, hi)}
+}
+
+// Push pushes v.
+func (h *VHandle) Push(v uint64) {
+	n := h.alloc.Alloc()
+	h.port.Write(h.s.arena.Val(n), v)
+	for {
+		t := h.port.Read(h.s.top)
+		h.port.Write(h.s.arena.Next(n), uint64(vidx(t)))
+		if h.port.CAS(h.s.top, t, vpack(n, vtag(t)+1)) {
+			return
+		}
+	}
+}
+
+// Pop pops the top value; ok is false when the stack is empty.
+func (h *VHandle) Pop() (v uint64, ok bool) {
+	for {
+		t := h.port.Read(h.s.top)
+		n := vidx(t)
+		if n == 0 {
+			return 0, false
+		}
+		nx := uint32(h.port.Read(h.s.arena.Next(n)))
+		v = h.port.Read(h.s.arena.Val(n))
+		if h.port.CAS(h.s.top, t, vpack(nx, vtag(t)+1)) {
+			h.alloc.Free(n)
+			return v, true
+		}
+	}
+}
+
+// Len counts nodes by traversal; quiescent test helper.
+func (s *Volatile) Len(port *pmem.Port) int {
+	n := 0
+	i := vidx(port.Read(s.top))
+	for i != 0 {
+		n++
+		i = uint32(port.Read(s.arena.Next(i)))
+	}
+	return n
+}

@@ -140,11 +140,23 @@ func NewPersistentAlloc(mem *pmem.Memory, port *pmem.Port, arena *Arena, lo, hi 
 // Alloc returns a node index, popping the free list if possible. freeLink
 // extracts the next-free index from a node's link word (the caller's
 // packed format). May leak one node if the enclosing capsule repeats.
+//
+// The fence after popping the free list is load-bearing: the caller is
+// about to overwrite the node's link word (which holds the free-list
+// link) with its own payload, and that overwrite can become durable by
+// eviction at any crash. If the head advance were still unfenced, a
+// crash could persist the overwrite while dropping the advance, leaving
+// the durable free list threaded through the node's *new* link — which
+// may reference a node that is live in the structure, whose reallocation
+// corrupts it (the same inversion Free's fence prevents, mirrored).
+// The bump path needs no fence: a repetition that re-reads the old
+// cursor re-allocates the same node and deterministically rewrites it.
 func (pa *PersistentAlloc) Alloc(p *pmem.Port, freeLink func(word uint64) uint32) uint32 {
 	if h := uint32(p.Read(pa.state + 1)); h != 0 {
 		nf := freeLink(p.Read(pa.arena.Next(h)))
 		p.Write(pa.state+1, uint64(nf))
 		p.Flush(pa.state)
+		p.Fence()
 		return h
 	}
 	b := uint32(p.Read(pa.state + 0))

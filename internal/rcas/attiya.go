@@ -61,14 +61,26 @@ func (a *Attiya) nAddr(owner, notifier int) pmem.Addr {
 // ReadFull implements CasSpace.
 func (a *Attiya) ReadFull(p *pmem.Port, x pmem.Addr) uint64 { return p.Read(x) }
 
-// notify records the success encoded in triple cur in the previous
-// owner's row, in this notifier's private column — a plain write.
-func (a *Attiya) notify(p *pmem.Port, cur uint64, notifier int) {
+// notify records the success encoded in triple cur (read from cell x)
+// in the previous owner's row, in this notifier's private column — a
+// plain write.
+func (a *Attiya) notify(p *pmem.Port, x pmem.Addr, cur uint64, notifier int) {
 	owner := Pid(cur)
 	if owner >= a.nproc {
 		return // anonymous alias: never recovered, nobody to notify
 	}
 	addr := a.nAddr(owner, notifier)
+	if a.Durable {
+		// Evidence ordering (see Space.notify): the notification is
+		// durable proof that cur's CAS succeeded, and — being a plain
+		// write — it can persist by eviction at any crash after it is
+		// issued. The witnessed cell value must therefore be durable
+		// before the write: flush and fence. This is a real fence the
+		// CAS-based Space does not pay; the notification write itself
+		// is what makes Attiya cheaper on the announce path.
+		p.Flush(x)
+		p.Fence()
+	}
 	p.Write(addr, packA(Seq(cur), true))
 	if a.Durable {
 		p.Flush(addr)
@@ -81,7 +93,7 @@ func (a *Attiya) Cas(p *pmem.Port, x pmem.Addr, exp, newVal, seq uint64, pid int
 	if cur != exp {
 		return false
 	}
-	a.notify(p, cur, pid)
+	a.notify(p, x, cur, pid)
 	ann := a.nAddr(pid, pid)
 	p.Write(ann, packA(seq, false)) // announce on the diagonal
 	if a.Durable {
@@ -100,7 +112,7 @@ func (a *Attiya) CasAnon(p *pmem.Port, x pmem.Addr, exp, newVal, seq uint64, pid
 	if cur != exp {
 		return false
 	}
-	a.notify(p, cur, pid)
+	a.notify(p, x, cur, pid)
 	ok := p.CAS(x, exp, Pack(newVal, Alias(pid, a.nproc), seq))
 	if a.Durable && ok {
 		p.Flush(x)

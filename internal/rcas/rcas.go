@@ -178,10 +178,10 @@ func (s *Space) aAddr(id int) pmem.Addr {
 func (s *Space) ReadFull(p *pmem.Port, x pmem.Addr) uint64 { return p.Read(x) }
 
 // notify flips the previous owner's announcement flag for the success
-// recorded in triple cur (Algorithm 1 lines 10+12 / 17–18). The CAS
-// guard ⟨seq,0⟩→⟨seq,1⟩ ensures a stale notifier can never clobber a
-// newer announcement.
-func (s *Space) notify(p *pmem.Port, cur uint64) {
+// recorded in triple cur (Algorithm 1 lines 10+12 / 17–18), read from
+// cell x. The CAS guard ⟨seq,0⟩→⟨seq,1⟩ ensures a stale notifier can
+// never clobber a newer announcement.
+func (s *Space) notify(p *pmem.Port, x pmem.Addr, cur uint64) {
 	pid := Pid(cur)
 	if pid >= s.nproc {
 		// The previous writer was an anonymous alias (a Section 7
@@ -192,6 +192,17 @@ func (s *Space) notify(p *pmem.Port, cur uint64) {
 	}
 	a := s.aAddr(pid)
 	oseq := Seq(cur)
+	if s.Durable {
+		// Evidence ordering: the flag below is durable proof that cur's
+		// CAS succeeded, so the cell value itself must become durable
+		// first — otherwise a full-system crash can keep the flag (any
+		// unflushed line persists a random prefix by eviction) while
+		// dropping the very CAS it witnesses, and the owner's
+		// CheckRecovery then claims a success that never durably
+		// happened. The notify CAS below drains this flush before the
+		// flag write can possibly persist.
+		p.Flush(x)
+	}
 	p.CAS(a, packA(oseq, false), packA(oseq, true))
 	if s.Durable {
 		p.Flush(a)
@@ -204,7 +215,7 @@ func (s *Space) Cas(p *pmem.Port, x pmem.Addr, exp, newVal, seq uint64, pid int)
 	if cur != exp {
 		return false
 	}
-	s.notify(p, cur)
+	s.notify(p, x, cur)
 	a := s.aAddr(pid)
 	p.Write(a, packA(seq, false)) // announce
 	if s.Durable {
@@ -224,7 +235,7 @@ func (s *Space) CasAnon(p *pmem.Port, x pmem.Addr, exp, newVal, seq uint64, pid 
 	if cur != exp {
 		return false
 	}
-	s.notify(p, cur)
+	s.notify(p, x, cur)
 	ok := p.CAS(x, exp, Pack(newVal, Alias(pid, s.nproc), seq))
 	if s.Durable && ok {
 		p.Flush(x)
@@ -237,7 +248,7 @@ func (s *Space) CasAnon(p *pmem.Port, x pmem.Addr, exp, newVal, seq uint64, pid 
 // observed by anyone yet.
 func (s *Space) Recover(p *pmem.Port, x pmem.Addr, pid int) (uint64, bool) {
 	cur := p.Read(x)
-	s.notify(p, cur)
+	s.notify(p, x, cur)
 	return unpackA(p.Read(s.aAddr(pid)))
 }
 

@@ -1,0 +1,12 @@
+// Package all links every workload family into the registry. Consumers
+// that iterate registered workloads (cmd/benchfigs, cmd/crashstress)
+// blank-import it; anything importing internal/harness gets the same
+// registrations transitively.
+package all
+
+import (
+	// harness registers the benchmark kinds, figures, parameters and
+	// recovery probes of the queue, map and stack families, and pulls in
+	// pqueue, pmap and pstack, whose inits register the crash stressers.
+	_ "delayfree/internal/harness"
+)

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// PrintTable renders results as the per-figure series the paper plots:
+// one row per thread count, one column per kind, in Mops/s, plus a
+// per-op persistence cost appendix.
+func PrintTable(w io.Writer, title string, results []Result) {
+	byKind := map[string]map[int]Result{}
+	kinds := []string{}
+	threadSet := map[int]bool{}
+	for _, r := range results {
+		if byKind[r.Kind] == nil {
+			byKind[r.Kind] = map[int]Result{}
+			kinds = append(kinds, r.Kind)
+		}
+		byKind[r.Kind][r.Threads] = r
+		threadSet[r.Threads] = true
+	}
+	threads := make([]int, 0, len(threadSet))
+	for t := range threadSet {
+		threads = append(threads, t)
+	}
+	sort.Ints(threads)
+
+	fmt.Fprintf(w, "== %s ==\n", title)
+	fmt.Fprintf(w, "throughput (Mops/s)\n%-8s", "threads")
+	for _, k := range kinds {
+		fmt.Fprintf(w, " %22s", k)
+	}
+	fmt.Fprintln(w)
+	for _, t := range threads {
+		fmt.Fprintf(w, "%-8d", t)
+		for _, k := range kinds {
+			fmt.Fprintf(w, " %22.3f", byKind[k][t].MopsPerSec())
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "per-operation costs at %d thread(s)\n", threads[0])
+	fmt.Fprintf(w, "%-24s %10s %10s %10s %10s\n", "kind", "flush/op", "fence/op", "cas/op", "bound/op")
+	for _, k := range kinds {
+		r := byKind[k][threads[0]]
+		fmt.Fprintf(w, "%-24s %10.2f %10.2f %10.2f %10.2f\n",
+			k, r.FlushesPerOp(), r.FencesPerOp(), r.CASesPerOp(), r.BoundariesPerOp())
+	}
+	fmt.Fprintln(w)
+}
+
+// JSONResult is the machine-readable form of one measured point (the
+// benchfigs -json output; BENCH_*.json trajectories are built from it).
+type JSONResult struct {
+	Kind            string  `json:"kind"`
+	Family          string  `json:"family,omitempty"`
+	Threads         int     `json:"threads"`
+	Ops             uint64  `json:"ops"`
+	ElapsedNs       int64   `json:"elapsed_ns"`
+	MopsPerSec      float64 `json:"mops_per_sec"`
+	FlushesPerOp    float64 `json:"flushes_per_op"`
+	FencesPerOp     float64 `json:"fences_per_op"`
+	CASesPerOp      float64 `json:"cases_per_op"`
+	BoundariesPerOp float64 `json:"boundaries_per_op"`
+}
+
+// JSONFigure groups the points of one figure.
+type JSONFigure struct {
+	Figure  string       `json:"figure"`
+	Results []JSONResult `json:"results"`
+}
+
+// JSONReport marshals measured figures into the benchfigs -json format:
+// {"figures":[{"figure":"stack","results":[...]}]}. Figures appear in
+// the order given; families are resolved from the registry.
+func JSONReport(figures []string, results map[string][]Result) ([]byte, error) {
+	report := struct {
+		Figures []JSONFigure `json:"figures"`
+	}{Figures: []JSONFigure{}}
+	for _, name := range figures {
+		fig := JSONFigure{Figure: name, Results: []JSONResult{}}
+		for _, r := range results[name] {
+			family := ""
+			if b, ok := LookupBencher(r.Kind); ok {
+				family = b.Family
+			}
+			fig.Results = append(fig.Results, JSONResult{
+				Kind:            r.Kind,
+				Family:          family,
+				Threads:         r.Threads,
+				Ops:             r.Ops,
+				ElapsedNs:       r.Elapsed.Nanoseconds(),
+				MopsPerSec:      r.MopsPerSec(),
+				FlushesPerOp:    r.FlushesPerOp(),
+				FencesPerOp:     r.FencesPerOp(),
+				CASesPerOp:      r.CASesPerOp(),
+				BoundariesPerOp: r.BoundariesPerOp(),
+			})
+		}
+		report.Figures = append(report.Figures, fig)
+	}
+	return json.MarshalIndent(report, "", "  ")
+}
+
+// RecoveryPoint is one row of the recovery-latency study: the memory
+// operations each registered probe needs to resume a crashed process at
+// the given structure size.
+type RecoveryPoint struct {
+	Size  uint32
+	Steps map[string]uint64 // probe name -> memory operations
+}
+
+// RecoveryStudy measures every registered probe at every size.
+func RecoveryStudy(sizes []uint32) []RecoveryPoint {
+	probes := RecoveryProbes()
+	out := make([]RecoveryPoint, 0, len(sizes))
+	for _, n := range sizes {
+		pt := RecoveryPoint{Size: n, Steps: map[string]uint64{}}
+		for _, p := range probes {
+			pt.Steps[p.Name] = p.Steps(n)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// PrintRecovery renders the study, one column per registered probe.
+func PrintRecovery(w io.Writer, points []RecoveryPoint) {
+	probes := RecoveryProbes()
+	fmt.Fprintln(w, "== recovery latency (memory operations to resume after a crash) ==")
+	fmt.Fprintf(w, "%-12s", "size")
+	for _, p := range probes {
+		fmt.Fprintf(w, " %18s", p.Name)
+	}
+	fmt.Fprintln(w)
+	for _, pt := range points {
+		fmt.Fprintf(w, "%-12d", pt.Size)
+		for _, p := range probes {
+			fmt.Fprintf(w, " %18d", pt.Steps[p.Name])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}

@@ -1,0 +1,435 @@
+// Package workload defines the contracts every workload family in the
+// repository implements, and the self-registration registry through
+// which the three consumers — the benchmark harness (cmd/benchfigs and
+// bench_test.go), the crash-injection validator (cmd/crashstress), and
+// the recovery-latency study — discover them.
+//
+// The paper's Theorem 7.1 covers *any* normalized lock-free structure;
+// the registry is that theorem's engineering counterpart. A family
+// (queue, map, stack, ...) registers, from its own package init:
+//
+//   - Benchers: named benchmark kinds that build the structure, run one
+//     fixed-work measurement and report throughput plus per-operation
+//     persistence costs (flushes, fences, CASes, capsule boundaries);
+//   - Figures: named groups of kinds compared in one table;
+//   - Params: the family's tunables (key-space size, read mix, initial
+//     queue length, ...) as named integer parameters with defaults, so
+//     consumers need no per-family configuration fields or flags;
+//   - Stressers: scripted operations under randomized crash injection in
+//     both failure models, with a shadow-model exactness check;
+//   - RecoveryProbes: the memory-operation cost of resuming a process
+//     after a crash, as a function of structure size.
+//
+// Adding a workload family is therefore a registration file per layer it
+// participates in, and every consumer picks it up without modification.
+package workload
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"delayfree/internal/pmem"
+)
+
+// Params is a per-family parameter bag: named integer tunables resolved
+// against the registered defaults. Booleans are encoded as 0/1.
+type Params map[string]int64
+
+// Clone returns a copy of the bag (nil-safe).
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Set returns a copy of the bag with name set to v (nil-safe).
+func (p Params) Set(name string, v int64) Params {
+	out := p.Clone()
+	out[name] = v
+	return out
+}
+
+// Param describes one tunable a workload family exposes. Families with
+// overlapping needs may register the same name with the same default
+// (the flag is shared); conflicting defaults panic at init.
+type Param struct {
+	Name    string
+	Default int64
+	Help    string
+}
+
+// Config parametrizes one benchmark measurement: the common knobs every
+// family interprets the same way, plus the per-family parameter bag.
+type Config struct {
+	Threads int
+	// Pairs is the number of operation pairs per thread (enqueue-dequeue,
+	// push-pop, or two map operations); fixed-work runs give
+	// deterministic comparisons on one vCPU. Every kind executes
+	// 2*Pairs operations per thread.
+	Pairs int
+	// FlushDelay/FenceDelay are spin iterations charged per flush and
+	// fence, modeling NVM persist latency.
+	FlushDelay int
+	FenceDelay int
+	// Params holds the per-family tunables; missing names resolve to
+	// their registered defaults.
+	Params Params
+}
+
+// Param resolves a named parameter against the bag and the registered
+// defaults; unknown names panic (they indicate a registration bug).
+func (c Config) Param(name string) int64 {
+	if v, ok := c.Params[name]; ok {
+		return v
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if p, ok := reg.params[name]; ok {
+		return p.Default
+	}
+	panic(fmt.Sprintf("workload: parameter %q was never registered", name))
+}
+
+// Result is one measured benchmark point.
+type Result struct {
+	Kind    string
+	Threads int
+	Ops     uint64 // total operations (2 per pair)
+	Elapsed time.Duration
+	Stats   pmem.Stats
+}
+
+// MopsPerSec returns throughput in million operations per second.
+func (r Result) MopsPerSec() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Ops) / r.Elapsed.Seconds() / 1e6
+}
+
+func perOp(v, ops uint64) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(v) / float64(ops)
+}
+
+// FlushesPerOp returns flushes per operation.
+func (r Result) FlushesPerOp() float64 { return perOp(r.Stats.Flushes, r.Ops) }
+
+// FencesPerOp returns fences per operation.
+func (r Result) FencesPerOp() float64 { return perOp(r.Stats.Fences, r.Ops) }
+
+// CASesPerOp returns CAS instructions per operation.
+func (r Result) CASesPerOp() float64 { return perOp(r.Stats.CASes, r.Ops) }
+
+// BoundariesPerOp returns capsule boundaries per operation.
+func (r Result) BoundariesPerOp() float64 { return perOp(r.Stats.Boundaries, r.Ops) }
+
+// Bencher is one registered benchmark kind.
+type Bencher struct {
+	// Kind is the unique kind name (e.g. "normalized-opt+manual").
+	Kind string
+	// Family groups kinds ("queue", "map", "stack", ...).
+	Family string
+	// Run builds the structure and measures one fixed-work run.
+	Run func(cfg Config) Result
+}
+
+// StressConfig parametrizes one crash-stress round. Zero values select
+// per-family defaults, so one flag set drives every stresser.
+type StressConfig struct {
+	Procs int
+	// Ops is the per-process script length (operation pairs for the
+	// queue and stack stressers, scripted operations for the map).
+	Ops int
+	// Crashes is the minimum number of crash events the round must
+	// absorb before its script is allowed to finish (full-system
+	// crashes under ganged crashing, process restarts otherwise). The
+	// map and stack stressers default to a family quota when zero; the
+	// queue stressers treat zero as "one batch of pairs, no quota".
+	Crashes int
+	Seed    int64
+	// Shared selects the shared-cache model (crashes drop a random
+	// prefix of every dirty line); otherwise the private model, where
+	// crashes destroy only volatile state.
+	Shared bool
+	// MinGap/MaxGap bound the instrumented-step gap between injected
+	// crashes; zero derives livelock-safe values from the geometry.
+	MinGap, MaxGap int64
+}
+
+// StressReport summarizes one crash-stress round.
+type StressReport struct {
+	Crashes  uint64 // full-system crashes absorbed
+	Restarts uint64 // process restarts summed over processes
+	Ops      uint64 // scripted operations executed (exactly once each)
+}
+
+// Stresser is one registered crash-stress driver.
+type Stresser struct {
+	// Name is the unique stresser name (e.g. "normalized-opt", "pmap").
+	Name   string
+	Family string
+	// Run executes one round and returns an error on any exactness
+	// violation — a lost, duplicated or corrupted operation.
+	Run func(cfg StressConfig) (StressReport, error)
+}
+
+// RecoveryProbe measures how many memory operations one scheme needs to
+// resume a process after a crash, as a function of structure size.
+type RecoveryProbe struct {
+	Name  string
+	Steps func(size uint32) uint64
+}
+
+// registry is the process-global registration state. Families register
+// from package init; the mutex also covers test registrations.
+var reg = struct {
+	mu        sync.Mutex
+	benchers  []Bencher
+	byKind    map[string]int
+	figures   map[string][]string
+	figOrder  []string
+	stressers []Stresser
+	byName    map[string]int
+	params    map[string]Param
+	paramOrd  []string
+	probes    []RecoveryProbe
+}{
+	byKind:  map[string]int{},
+	figures: map[string][]string{},
+	byName:  map[string]int{},
+	params:  map[string]Param{},
+}
+
+// RegisterBencher adds a benchmark kind; duplicate kind names panic.
+func RegisterBencher(b Bencher) {
+	if b.Kind == "" || b.Family == "" || b.Run == nil {
+		panic("workload: RegisterBencher requires Kind, Family and Run")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.byKind[b.Kind]; dup {
+		panic(fmt.Sprintf("workload: kind %q registered twice", b.Kind))
+	}
+	reg.byKind[b.Kind] = len(reg.benchers)
+	reg.benchers = append(reg.benchers, b)
+}
+
+// Benchers returns every registered kind in registration order.
+func Benchers() []Bencher {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return append([]Bencher(nil), reg.benchers...)
+}
+
+// Kinds returns every registered kind name in registration order.
+func Kinds() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make([]string, len(reg.benchers))
+	for i, b := range reg.benchers {
+		out[i] = b.Kind
+	}
+	return out
+}
+
+// LookupBencher finds a kind by name.
+func LookupBencher(kind string) (Bencher, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	i, ok := reg.byKind[kind]
+	if !ok {
+		return Bencher{}, false
+	}
+	return reg.benchers[i], true
+}
+
+// Families returns the distinct family names in first-registration
+// order, merged across benchers and stressers.
+func Families() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	seen := map[string]bool{}
+	var out []string
+	for _, b := range reg.benchers {
+		if !seen[b.Family] {
+			seen[b.Family] = true
+			out = append(out, b.Family)
+		}
+	}
+	for _, s := range reg.stressers {
+		if !seen[s.Family] {
+			seen[s.Family] = true
+			out = append(out, s.Family)
+		}
+	}
+	return out
+}
+
+// RegisterFigure names a group of kinds compared in one table. The
+// kinds need not be registered yet (init order across packages is not
+// guaranteed); FigureKinds validates at lookup time.
+func RegisterFigure(name string, kinds ...string) {
+	if name == "" || len(kinds) == 0 {
+		panic("workload: RegisterFigure requires a name and kinds")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.figures[name]; dup {
+		panic(fmt.Sprintf("workload: figure %q registered twice", name))
+	}
+	reg.figures[name] = append([]string(nil), kinds...)
+	reg.figOrder = append(reg.figOrder, name)
+}
+
+// FigureNames returns the registered figure names in registration order.
+func FigureNames() []string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return append([]string(nil), reg.figOrder...)
+}
+
+// FigureKinds returns the kinds a figure compares.
+func FigureKinds(name string) ([]string, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	ks, ok := reg.figures[name]
+	return append([]string(nil), ks...), ok
+}
+
+// Figures returns a copy of the full figure table.
+func Figures() map[string][]string {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make(map[string][]string, len(reg.figures))
+	for k, v := range reg.figures {
+		out[k] = append([]string(nil), v...)
+	}
+	return out
+}
+
+// RegisterStresser adds a crash-stress driver; duplicate names panic.
+func RegisterStresser(s Stresser) {
+	if s.Name == "" || s.Family == "" || s.Run == nil {
+		panic("workload: RegisterStresser requires Name, Family and Run")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if _, dup := reg.byName[s.Name]; dup {
+		panic(fmt.Sprintf("workload: stresser %q registered twice", s.Name))
+	}
+	reg.byName[s.Name] = len(reg.stressers)
+	reg.stressers = append(reg.stressers, s)
+}
+
+// Stressers returns every registered stresser in registration order.
+func Stressers() []Stresser {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return append([]Stresser(nil), reg.stressers...)
+}
+
+// LookupStresser finds a stresser by name.
+func LookupStresser(name string) (Stresser, bool) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	i, ok := reg.byName[name]
+	if !ok {
+		return Stresser{}, false
+	}
+	return reg.stressers[i], true
+}
+
+// RegisterParams declares a family's tunables. Re-registering a name
+// with the same default merges (the tunable is shared between
+// families); a different default panics.
+func RegisterParams(ps ...Param) {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	for _, p := range ps {
+		if p.Name == "" {
+			panic("workload: RegisterParams requires a name")
+		}
+		if prev, ok := reg.params[p.Name]; ok {
+			if prev.Default != p.Default {
+				panic(fmt.Sprintf("workload: parameter %q registered with defaults %d and %d",
+					p.Name, prev.Default, p.Default))
+			}
+			continue
+		}
+		reg.params[p.Name] = p
+		reg.paramOrd = append(reg.paramOrd, p.Name)
+	}
+}
+
+// ParamDefs returns every registered parameter in registration order.
+func ParamDefs() []Param {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	out := make([]Param, len(reg.paramOrd))
+	for i, n := range reg.paramOrd {
+		out[i] = reg.params[n]
+	}
+	return out
+}
+
+// RegisterRecoveryProbe adds a recovery-latency probe.
+func RegisterRecoveryProbe(p RecoveryProbe) {
+	if p.Name == "" || p.Steps == nil {
+		panic("workload: RegisterRecoveryProbe requires Name and Steps")
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	reg.probes = append(reg.probes, p)
+}
+
+// RecoveryProbes returns the registered probes in registration order.
+func RecoveryProbes() []RecoveryProbe {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return append([]RecoveryProbe(nil), reg.probes...)
+}
+
+// Run measures one registered kind under cfg.
+func Run(kind string, cfg Config) (Result, error) {
+	b, ok := LookupBencher(kind)
+	if !ok {
+		return Result{}, fmt.Errorf("workload: unknown kind %q (registered: %v)", kind, Kinds())
+	}
+	return b.Run(cfg), nil
+}
+
+// RunStress runs one round of the named registered stresser.
+func RunStress(name string, cfg StressConfig) (StressReport, error) {
+	s, ok := LookupStresser(name)
+	if !ok {
+		names := make([]string, 0, len(reg.stressers))
+		for _, st := range Stressers() {
+			names = append(names, st.Name)
+		}
+		return StressReport{}, fmt.Errorf("workload: unknown stresser %q (registered: %v)", name, names)
+	}
+	return s.Run(cfg)
+}
+
+// Sweep measures every kind at every thread count.
+func Sweep(kinds []string, threads []int, cfg Config) ([]Result, error) {
+	var out []Result
+	for _, k := range kinds {
+		for _, t := range threads {
+			c := cfg
+			c.Threads = t
+			r, err := Run(k, c)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"delayfree/internal/pmem"
+)
+
+// The workload package itself registers nothing; this test binary owns
+// the registry and populates it with fakes.
+
+func fakeResult(kind string, threads int) Result {
+	return Result{
+		Kind:    kind,
+		Threads: threads,
+		Ops:     1000,
+		Elapsed: time.Millisecond,
+		Stats:   pmem.Stats{Flushes: 2000, Fences: 1000, CASes: 3000, Boundaries: 500},
+	}
+}
+
+func init() {
+	RegisterParams(
+		Param{Name: "fake-size", Default: 64, Help: "fake structure size"},
+		Param{Name: "fake-mix", Default: 90, Help: "fake read mix"},
+	)
+	// Shared parameter: same default merges.
+	RegisterParams(Param{Name: "fake-size", Default: 64})
+	for _, kind := range []string{"fake-a", "fake-b"} {
+		RegisterBencher(Bencher{
+			Kind:   kind,
+			Family: "fake",
+			Run:    func(cfg Config) Result { return fakeResult(kind, cfg.Threads) },
+		})
+	}
+	RegisterFigure("fake", "fake-a", "fake-b")
+	RegisterStresser(Stresser{
+		Name:   "fake",
+		Family: "fake",
+		Run: func(cfg StressConfig) (StressReport, error) {
+			return StressReport{Crashes: 1, Ops: uint64(cfg.Ops)}, nil
+		},
+	})
+	RegisterRecoveryProbe(RecoveryProbe{
+		Name:  "fake-probe",
+		Steps: func(n uint32) uint64 { return uint64(n) + 7 },
+	})
+}
+
+func TestRegistryLookups(t *testing.T) {
+	if got := Kinds(); len(got) != 2 || got[0] != "fake-a" || got[1] != "fake-b" {
+		t.Fatalf("Kinds() = %v", got)
+	}
+	if _, ok := LookupBencher("fake-a"); !ok {
+		t.Fatal("fake-a not found")
+	}
+	if _, ok := LookupBencher("nope"); ok {
+		t.Fatal("found unregistered kind")
+	}
+	if fams := Families(); len(fams) != 1 || fams[0] != "fake" {
+		t.Fatalf("Families() = %v", fams)
+	}
+	ks, ok := FigureKinds("fake")
+	if !ok || len(ks) != 2 {
+		t.Fatalf("FigureKinds(fake) = %v, %v", ks, ok)
+	}
+	if _, ok := FigureKinds("nope"); ok {
+		t.Fatal("found unregistered figure")
+	}
+	if s, ok := LookupStresser("fake"); !ok || s.Family != "fake" {
+		t.Fatalf("LookupStresser(fake) = %+v, %v", s, ok)
+	}
+	if len(RecoveryProbes()) != 1 {
+		t.Fatalf("probes: %v", RecoveryProbes())
+	}
+}
+
+func TestParamResolution(t *testing.T) {
+	cfg := Config{}
+	if got := cfg.Param("fake-size"); got != 64 {
+		t.Fatalf("default fake-size = %d", got)
+	}
+	cfg.Params = Params{}.Set("fake-size", 8)
+	if got := cfg.Param("fake-size"); got != 8 {
+		t.Fatalf("overridden fake-size = %d", got)
+	}
+	if got := cfg.Param("fake-mix"); got != 90 {
+		t.Fatalf("fake-mix = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown parameter did not panic")
+		}
+	}()
+	cfg.Param("never-registered")
+}
+
+func TestDuplicateRegistrationsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("dup kind", func() {
+		RegisterBencher(Bencher{Kind: "fake-a", Family: "fake", Run: func(Config) Result { return Result{} }})
+	})
+	mustPanic("dup stresser", func() {
+		RegisterStresser(Stresser{Name: "fake", Family: "fake", Run: func(StressConfig) (StressReport, error) { return StressReport{}, nil }})
+	})
+	mustPanic("dup figure", func() { RegisterFigure("fake", "fake-a") })
+	mustPanic("conflicting param default", func() {
+		RegisterParams(Param{Name: "fake-size", Default: 65})
+	})
+}
+
+func TestRunAndSweep(t *testing.T) {
+	r, err := Run("fake-a", Config{Threads: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != "fake-a" || r.Threads != 3 {
+		t.Fatalf("result: %+v", r)
+	}
+	if _, err := Run("nope", Config{}); err == nil {
+		t.Fatal("unknown kind did not error")
+	}
+	res, err := Sweep([]string{"fake-a", "fake-b"}, []int{1, 2}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("sweep results: %d", len(res))
+	}
+	var buf bytes.Buffer
+	PrintTable(&buf, "fake", res)
+	for _, want := range []string{"fake-a", "fake-b", "threads", "flush/op"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("table missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestResultPerOpMath(t *testing.T) {
+	r := fakeResult("fake-a", 1)
+	if r.MopsPerSec() <= 0 {
+		t.Fatal("no throughput")
+	}
+	if got := r.FlushesPerOp(); got != 2.0 {
+		t.Fatalf("flushes/op = %f", got)
+	}
+	if got := r.CASesPerOp(); got != 3.0 {
+		t.Fatalf("cases/op = %f", got)
+	}
+	if (Result{}).MopsPerSec() != 0 || (Result{}).FlushesPerOp() != 0 {
+		t.Fatal("zero result not zero-safe")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	results := map[string][]Result{"fake": {fakeResult("fake-a", 1), fakeResult("fake-b", 2)}}
+	out, err := JSONReport([]string{"fake"}, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Figures []struct {
+			Figure  string `json:"figure"`
+			Results []struct {
+				Kind         string  `json:"kind"`
+				Family       string  `json:"family"`
+				Threads      int     `json:"threads"`
+				Mops         float64 `json:"mops_per_sec"`
+				FlushesPerOp float64 `json:"flushes_per_op"`
+			} `json:"results"`
+		} `json:"figures"`
+	}
+	if err := json.Unmarshal(out, &rep); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out)
+	}
+	if len(rep.Figures) != 1 || rep.Figures[0].Figure != "fake" {
+		t.Fatalf("figures: %+v", rep.Figures)
+	}
+	rs := rep.Figures[0].Results
+	if len(rs) != 2 || rs[0].Kind != "fake-a" || rs[0].Family != "fake" || rs[0].FlushesPerOp != 2.0 {
+		t.Fatalf("results: %+v", rs)
+	}
+}
+
+func TestRecoveryStudy(t *testing.T) {
+	pts := RecoveryStudy([]uint32{0, 100})
+	if len(pts) != 2 {
+		t.Fatalf("points: %d", len(pts))
+	}
+	if pts[1].Steps["fake-probe"] != 107 {
+		t.Fatalf("probe steps: %+v", pts[1])
+	}
+	var buf bytes.Buffer
+	PrintRecovery(&buf, pts)
+	if !strings.Contains(buf.String(), "fake-probe") || !strings.Contains(buf.String(), "recovery latency") {
+		t.Fatalf("recovery table:\n%s", buf.String())
+	}
+}
