@@ -41,6 +41,7 @@ func benchFigure(b *testing.B, kind string, threads int) {
 	b.StopTimer()
 	b.ReportMetric(r.MopsPerSec(), "Mops/s")
 	b.ReportMetric(r.FlushesPerOp(), "flushes/op")
+	b.ReportMetric(r.EffFlushesPerOp(), "eff-flushes/op")
 	b.ReportMetric(r.FencesPerOp(), "fences/op")
 	b.ReportMetric(r.BoundariesPerOp(), "boundaries/op")
 }

@@ -20,10 +20,14 @@
 //
 // Output is one table per figure: thread counts down the rows, kinds
 // across the columns, throughput in Mops/s, followed by the
-// per-operation persistence costs (flushes/fences/CASes/boundaries)
-// that explain the ordering. With -json, machine-readable results
-// (kind, threads, Mops/s, per-op costs) are additionally written to the
-// given file — the format BENCH_*.json perf trajectories record.
+// per-operation persistence costs that explain the ordering: issued
+// flushes (flush instructions), *effective* flushes (line write-backs
+// actually scheduled — issued minus the repeats the write-combining
+// Port coalesced within a fence epoch), fences, CASes, capsule
+// boundaries, and lines persisted per epoch drain. With -json,
+// machine-readable results (kind, threads, Mops/s, per-op costs
+// including the issued/effective split) are additionally written to
+// the given file — the format BENCH_*.json perf trajectories record.
 // EXPERIMENTS.md interprets the results against the paper's.
 package main
 

@@ -13,6 +13,15 @@
 // switch-cased here: registering a new family's stresser makes this
 // command stress it.
 //
+// The write-combining persist layer (see DESIGN.md) does not change
+// what these rounds validate: coalescing only elides redundant
+// write-backs of a line already pending in the same fence epoch, and a
+// crash before the fence drops the whole epoch either way — so every
+// durability point the stressers exercise is bit-for-bit the same,
+// while the denser instrumented-step layout (one step per issued flush
+// of a batch) moves the injected crash points into the middle of batch
+// persists as well.
+//
 // Usage:
 //
 //	crashstress -rounds 20 -procs 4 -ops 50 -seed 1

@@ -41,6 +41,12 @@ func main() {
 		}
 	})
 
+	// Durable audit checkpoint: round counter and total balance on one
+	// line, persisted with the batch idiom (flush both written words +
+	// one fence; the same-line repeat coalesces for free). Because it is
+	// fenced before the crash, the checkpoint must survive every round.
+	ck := mem.AllocLines(1)
+
 	rng := rand.New(rand.NewSource(99))
 	crashes := 0
 	for r := 0; r < rounds; r++ {
@@ -57,12 +63,20 @@ func main() {
 				tx.Write(to, tx.Read(to)+amount)
 			})
 		}
+		// Checkpoint the round durably before crashing.
+		port.Write(ck, uint64(r)+1)
+		port.Write(ck+1, accounts*initial)
+		port.PersistEpoch(ck, ck+1)
+
 		// Lossy crash: everything unflushed is dropped; the TM state
 		// word tells recovery which twin is consistent.
 		mem.CrashLossy(false)
 		tm.Recover(port)
 		crashes++
 
+		if got := mem.PersistedWord(ck); got != uint64(r)+1 {
+			panic(fmt.Sprintf("round %d: checkpoint lost (%d) — PersistEpoch did not persist", r, got))
+		}
 		total := uint64(0)
 		for a := uint64(0); a < accounts; a++ {
 			total += tm.ReadWord(port, a)

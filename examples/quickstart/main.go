@@ -33,6 +33,14 @@ func main() {
 	space := delayfree.NewRCas(mem, P)
 	counter := mem.AllocLines(1)
 
+	// Seed the counter cell durably with the batch persist idiom: write,
+	// then one PersistEpoch (flush the written addresses + a single
+	// fence). In the private model the fence is a counted no-op, but the
+	// same line works unchanged under the shared-cache model.
+	setup := mem.NewPort()
+	setup.Write(counter, delayfree.PackTriple(0, P, 0)) // alias of process 0
+	setup.PersistEpoch(counter)
+
 	// The routine: pc0 reads the counter (a Read-Only capsule), pc1 is
 	// the CAS-Read capsule of Algorithm 3 — the recoverable CAS first,
 	// recovery-checked when re-executed after a crash.

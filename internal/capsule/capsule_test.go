@@ -425,3 +425,46 @@ func mustPanic(t *testing.T, name string, f func()) {
 	}()
 	f()
 }
+
+// TestFullFrameBoundaryCoalesces pins the batch-persist idiom of the
+// two-copy frame protocol: a boundary persisting several dirty slots
+// issues one flush per written word, and the same-frame-line repeats
+// coalesce — the boundary's charged write-backs are per line, not per
+// slot. The compact flavour already writes one line by construction,
+// so its boundary issues exactly one flush.
+func TestFullFrameBoundaryCoalesces(t *testing.T) {
+	e := newCounterEnv(pmem.Shared, 1, false)
+	InstallRun(t, e, 8)
+	st := e.rt.Proc(0).Mem().Stats
+	if st.CoalescedFlushes == 0 {
+		t.Fatalf("full-frame boundaries coalesced nothing: %+v", st)
+	}
+	if st.EffectiveFlushes() >= st.Flushes {
+		t.Fatalf("effective %d >= issued %d", st.EffectiveFlushes(), st.Flushes)
+	}
+
+	ec := newCounterEnv(pmem.Shared, 1, true)
+	InstallRun(t, ec, 8)
+	stc := ec.rt.Proc(0).Mem().Stats
+	// Compact boundaries are single-line by design: fewer issued flushes
+	// than the full flavour even before coalescing.
+	if stc.Flushes >= st.Flushes {
+		t.Fatalf("compact issued %d >= full issued %d", stc.Flushes, st.Flushes)
+	}
+}
+
+// InstallRun installs the counter loop with n iterations and runs it to
+// completion, asserting the count is exact.
+func InstallRun(t *testing.T, e *counterEnv, n uint64) {
+	t.Helper()
+	Install(e.rt.Proc(0).Mem(), e.base, e.reg, e.main, n)
+	var got []uint64
+	e.rt.RunToCompletion(func(int) proc.Program {
+		return func(p *proc.Proc) {
+			got = NewMachine(p, e.reg, e.base).Run()
+		}
+	})
+	if len(got) != 1 || got[0] != n {
+		t.Fatalf("counter: %v, want %d", got, n)
+	}
+}

@@ -73,33 +73,26 @@ func (c *Ctx) beginTerminal() {
 	c.m.mem.Stats.Boundaries++
 }
 
-// flushLines issues one Flush per set bit of the frame-line bitmask.
-func (c *Ctx) flushLines(fr pmem.Addr, lineBits uint16) {
-	for li := 0; lineBits != 0; li++ {
-		if lineBits&1 != 0 {
-			c.m.mem.Flush(fr + pmem.Addr(li)*pmem.WordsPerLine)
-		}
-		lineBits >>= 1
-	}
-}
-
 // writeDirty writes the dirty slots of the current frame into the copy
-// that placeMask designates as valid, returning the frame-line bitmask
-// of touched lines. Used by Boundary (placeMask = new mask) and Call
-// (placeMask = pending mask).
-func (c *Ctx) writeDirty(fr pmem.Addr, placeMask uint32) uint16 {
+// that placeMask designates as valid, returning the written addresses
+// (in the machine's reusable scratch buffer). Callers append any
+// further commit-protocol words they write and hand the batch to
+// Port.FlushAddrs — one issued flush per word, same-line repeats
+// coalesced by the write-combining layer. Used by Boundary (placeMask =
+// new mask) and Call (placeMask = pending mask).
+func (c *Ctx) writeDirty(fr pmem.Addr, placeMask uint32) []pmem.Addr {
 	m := c.m
 	d := m.depth
-	var lines uint16
+	addrs := m.flushBuf[:0]
 	for s := 0; s < MaxSlots; s++ {
 		if c.dirty>>s&1 == 0 {
 			continue
 		}
 		a := slotAddr(fr, s, placeMask>>s&1)
 		m.mem.Write(a, m.vol[d][s])
-		lines |= 1 << ((a - fr) / pmem.WordsPerLine)
+		addrs = append(addrs, a)
 	}
-	return lines
+	return addrs
 }
 
 // Boundary ends the capsule, persisting all dirty locals and setting the
@@ -117,8 +110,9 @@ func (c *Ctx) Boundary(nextPC int) {
 	}
 	newMask := m.mask[d] ^ c.dirty
 	if c.dirty != 0 {
-		lines := c.writeDirty(fr, newMask)
-		c.flushLines(fr, lines)
+		addrs := c.writeDirty(fr, newMask)
+		m.mem.FlushAddrs(addrs...)
+		m.flushBuf = addrs[:0]
 		m.mem.Fence()
 	} else if m.mem.HasUnfencedFlush() {
 		// The control word below is this boundary's commit: it must not
@@ -189,15 +183,16 @@ func (c *Ctx) Call(rid RoutineID, entry, contPC int, args []uint64, retSlots []i
 		flips |= 1 << s
 	}
 	pmask := m.mask[d] ^ flips
-	lines := c.writeDirty(fr, pmask)
+	addrs := c.writeDirty(fr, pmask)
 	m.mem.Write(fr+framePendingOff, packPending(contPC, pmask, retSlots))
-	lines |= 1 // pending lives on frame line 0
-	c.flushLines(fr, lines)
+	addrs = append(addrs, fr+framePendingOff)
 
-	// Initialize the callee frame (idempotent under repetition).
+	// Initialize the callee frame (idempotent under repetition); its
+	// writes join the caller's in one flush batch under a single fence.
 	callee := m.reg.Routine(rid)
 	fr2 := frameAddr(m.base, d+1)
 	m.mem.Write(fr2+frameHdrOff, uint64(rid))
+	addrs = append(addrs, fr2+frameHdrOff)
 	seq := m.vol[d][SeqSlot]
 	if callee.Compact {
 		if len(args) >= MaxCompactSlots {
@@ -209,29 +204,31 @@ func (c *Ctx) Call(rid RoutineID, entry, contPC int, args []uint64, retSlots []i
 		e := max(eA, eB) + 1
 		ln := compactLine(fr2, e)
 		m.mem.Write(ln+SeqSlot, seq)
+		addrs = append(addrs, ln+SeqSlot)
 		for k, a := range args {
 			m.mem.Write(ln+pmem.Addr(1+k), a)
+			addrs = append(addrs, ln+pmem.Addr(1+k))
 		}
 		m.mem.Write(ln+compactCtlOff, packCompact(entry, e))
-		m.mem.Flush(fr2)
-		m.mem.Flush(ln)
+		addrs = append(addrs, ln+compactCtlOff)
 		m.epoch[d+1] = e
 	} else {
 		if len(args) >= MaxSlots {
 			panic("capsule: too many args for callee")
 		}
 		m.mem.Write(slotAddr(fr2, SeqSlot, 0), seq)
-		var clines uint16 = 1 // header line
-		clines |= 1 << ((slotAddr(fr2, SeqSlot, 0) - fr2) / pmem.WordsPerLine)
+		addrs = append(addrs, slotAddr(fr2, SeqSlot, 0))
 		for k, a := range args {
 			sa := slotAddr(fr2, 1+k, 0)
 			m.mem.Write(sa, a)
-			clines |= 1 << ((sa - fr2) / pmem.WordsPerLine)
+			addrs = append(addrs, sa)
 		}
 		m.mem.Write(fr2+frameCtlOff, packCtl(entry, 0))
-		c.flushLines(fr2, clines)
+		addrs = append(addrs, fr2+frameCtlOff)
 		m.mask[d+1] = 0
 	}
+	m.mem.FlushAddrs(addrs...)
+	m.flushBuf = addrs[:0]
 	m.mem.Fence()
 
 	// Commit: swing the restart pointer to the callee frame.
@@ -279,22 +276,23 @@ func (c *Ctx) Return(vals ...uint64) {
 	if len(vals) != len(retSlots) {
 		panic(fmt.Sprintf("capsule: Return with %d values, caller expects %d", len(vals), len(retSlots)))
 	}
-	var lines uint16
+	addrs := m.flushBuf[:0]
 	for k, s := range retSlots {
 		a := slotAddr(fr1, s, pmask>>s&1)
 		m.mem.Write(a, vals[k])
-		lines |= 1 << ((a - fr1) / pmem.WordsPerLine)
+		addrs = append(addrs, a)
 	}
 	// Thread the sequence number back to the caller.
 	seq := m.vol[d][SeqSlot]
 	sa := slotAddr(fr1, SeqSlot, pmask>>SeqSlot&1)
 	m.mem.Write(sa, seq)
-	lines |= 1 << ((sa - fr1) / pmem.WordsPerLine)
+	addrs = append(addrs, sa)
 	// Commit the caller's control word; the restart swing below makes
 	// it take effect exactly once even across repetitions.
 	m.mem.Write(fr1+frameCtlOff, packCtl(contPC, pmask))
-	lines |= 1
-	c.flushLines(fr1, lines)
+	addrs = append(addrs, fr1+frameCtlOff)
+	m.mem.FlushAddrs(addrs...)
+	m.flushBuf = addrs[:0]
 	m.mem.Fence()
 
 	m.mem.Write(restartAddr(m.base), uint64(d-1))

@@ -89,6 +89,11 @@ type Machine struct {
 	light         bool
 	finishedLight bool
 	carryDirty    uint32
+
+	// flushBuf is the reusable scratch list of addresses written by the
+	// current terminal operation, handed to Port.FlushAddrs; the
+	// write-combining layer coalesces the same-line repeats.
+	flushBuf []pmem.Addr
 }
 
 // NewMachine creates a machine for process p whose capsule area starts
@@ -127,9 +132,7 @@ func Install(port *pmem.Port, base pmem.Addr, reg *Registry, rid RoutineID, args
 			port.Write(slotAddr(fr, 1+k, 0), a)
 		}
 		port.Write(fr+frameCtlOff, packCtl(0, 0))
-		for li := pmem.Addr(0); li < frameLines; li++ {
-			port.Flush(fr + li*pmem.WordsPerLine)
-		}
+		port.FlushRange(fr, FrameWords)
 	}
 	port.Flush(fr)
 	port.Fence()
@@ -152,7 +155,7 @@ func InstallIdle(port *pmem.Port, base pmem.Addr, reg *Registry, rid RoutineID) 
 	} else {
 		port.Write(slotAddr(fr, SeqSlot, 0), 0)
 		port.Write(fr+frameCtlOff, packCtl(PCDone, 0))
-		port.Flush(fr + frameSlotsOff)
+		port.FlushAddrs(slotAddr(fr, SeqSlot, 0), fr+frameCtlOff)
 	}
 	port.Flush(fr)
 	port.Fence()

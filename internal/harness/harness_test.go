@@ -141,6 +141,88 @@ func TestPersistenceCostOrdering(t *testing.T) {
 	}
 }
 
+// TestEffectiveFlushCoalescing pins the write-combining layer's effect
+// end-to-end: for the kinds whose persist sites batch same-line flushes
+// (capsule full-frame boundaries, qnode alloc node init, the
+// persist-after-recoverable-CAS sites, logqueue's log appends),
+// effective flushes per op must be strictly below issued flushes per op
+// — before the layer existed the two were equal by definition.
+func TestEffectiveFlushCoalescing(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Threads = 1
+	for _, k := range []string{
+		KindGeneral,       // full two-copy frames: multi-slot boundary batches coalesce
+		KindNormalized,    // full frames + alloc/persist sites
+		KindGeneralOpt,    // compact frames: alloc + persist-after-CAS sites still coalesce
+		KindNormalizedOpt, //
+		KindPStack,        // qnode alloc + top persist-after-CAS
+		KindPStackOpt,     //
+		KindLogQueue,      // log append and return-slot batches
+	} {
+		r, err := Run(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EffFlushesPerOp() >= r.FlushesPerOp() {
+			t.Fatalf("%s: effective %f >= issued %f flushes/op — no coalescing",
+				k, r.EffFlushesPerOp(), r.FlushesPerOp())
+		}
+		if r.CoalescedPerOp() <= 0 {
+			t.Fatalf("%s: no coalesced flushes recorded", k)
+		}
+		// The identity issued = effective + coalesced must hold exactly.
+		if r.Stats.Flushes != r.Stats.EffectiveFlushes()+r.Stats.CoalescedFlushes {
+			t.Fatalf("%s: flush accounting inconsistent: %+v", k, r.Stats)
+		}
+		if r.LinesPerDrain() <= 0 {
+			t.Fatalf("%s: no lines-per-drain recorded", k)
+		}
+	}
+	// The volatile baselines coalesce nothing because they flush nothing.
+	for _, k := range []string{KindMSQ, KindMapVolatile, KindStackVolatile} {
+		r, err := Run(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Stats.CoalescedFlushes != 0 || r.Stats.LinesPersisted != 0 {
+			t.Fatalf("%s: phantom persistence work: %+v", k, r.Stats)
+		}
+	}
+}
+
+// TestEffectiveFlushRegression pins the post-coalescing effective
+// flush costs of the CI-watched kinds: a change that reintroduces
+// redundant line write-backs (or breaks the coalescing accounting)
+// fails here. Counts are deterministic at one thread.
+func TestEffectiveFlushRegression(t *testing.T) {
+	cfg := Config{
+		Threads:    1,
+		Pairs:      2000,
+		FlushDelay: 0,
+		FenceDelay: 0,
+		Params: workload.Params{
+			"seed-nodes": 2000,
+			"stack-seed": 1000,
+		},
+	}
+	pins := map[string]float64{
+		// Measured post-coalescing values (6.00 and 2.75) plus slack for
+		// benign drift; the pre-coalescing values were 9.50 and 2.75
+		// issued with zero elided, so a regression clears the pin by far.
+		KindPStackOpt: 6.2,
+		KindPmap:      2.9,
+	}
+	for k, pin := range pins {
+		r, err := Run(k, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := r.EffFlushesPerOp(); got > pin {
+			t.Fatalf("%s: effective flushes/op %f exceeds pinned %f", k, got, pin)
+		}
+	}
+}
+
 func TestSweepAndPrint(t *testing.T) {
 	cfg := smallCfg()
 	cfg.Pairs = 100

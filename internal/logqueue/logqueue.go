@@ -108,10 +108,7 @@ func New(mem *pmem.Memory, port *pmem.Port, arena *qnode.Arena, P int, dummyIdx 
 	port.Write(arena.Addr(dummyIdx)+offDeq, packReset(0, 0))
 	port.Write(q.head, packPtr(dummyIdx, 0))
 	port.Write(q.tail, packPtr(dummyIdx, 0))
-	port.Flush(arena.Addr(dummyIdx))
-	port.Flush(q.head)
-	port.Flush(q.tail)
-	port.Fence()
+	port.PersistEpoch(arena.Addr(dummyIdx)+offNext, arena.Addr(dummyIdx)+offDeq, q.head, q.tail)
 	return q
 }
 
@@ -162,8 +159,9 @@ func (h *Handle) announce(op uint64, node uint32) {
 	p.Write(la+logNode, uint64(node))
 	p.Write(la+logDone, 0)
 	p.Write(la+logEpoch, e) // last: commits the entry
-	p.Flush(la)
-	p.Fence()
+	// One log entry is one line: the batch persist issues a flush per
+	// written word and coalesces all but the first.
+	p.PersistEpoch(la+logOp, la+logSeq, la+logNode, la+logDone, la+logEpoch)
 }
 
 // complete marks the announced operation done (a single-word write is
@@ -172,8 +170,7 @@ func (h *Handle) complete() {
 	p, q := h.port, h.q
 	la, _ := q.curLog(p, h.pid)
 	p.Write(la+logDone, 1)
-	p.Flush(la)
-	p.Fence()
+	p.PersistEpoch(la + logDone)
 }
 
 // Enqueue appends v durably.
@@ -184,7 +181,14 @@ func (h *Handle) Enqueue(v uint64) {
 	p.Write(na+offVal, v)
 	p.Write(na+offNext, packPtr(0, tagOf(p.Read(na+offNext))+1))
 	p.Write(na+offDeq, packReset(h.pid+1, h.seq+1))
-	p.Flush(na)
+	// The node init must be durable *before* the announce entry can be:
+	// the announce commits by eviction-prone epoch word, and recovery
+	// treats a claim on the announced node as proof the enqueue executed
+	// and the node was already dequeued. If the crash dropped this
+	// fence's reset while the announce persisted, the node's durable deq
+	// word would still carry the claim from its previous incarnation and
+	// recovery would drop the operation.
+	p.PersistEpoch(na+offVal, na+offNext, na+offDeq)
 	h.announce(OpEnq, n)
 	for {
 		t := p.Read(q.tail)
@@ -230,8 +234,7 @@ func (h *Handle) Dequeue() (v uint64, ok bool) {
 			if idxOf(nx) == 0 {
 				p.Write(ra+retOK, 2)
 				p.Write(ra+retSeq, h.seq) // guard last
-				p.Flush(ra)
-				p.Fence()
+				p.PersistEpoch(ra+retOK, ra+retSeq)
 				h.complete()
 				return 0, false
 			}
@@ -251,8 +254,7 @@ func (h *Handle) Dequeue() (v uint64, ok bool) {
 				p.Write(ra+retVal, val)
 				p.Write(ra+retOK, 1)
 				p.Write(ra+retSeq, h.seq) // guard last
-				p.Flush(ra)
-				p.Fence()
+				p.PersistEpoch(ra+retVal, ra+retOK, ra+retSeq)
 				if p.CAS(q.head, hd, packPtr(idxOf(nx), tagOf(hd)+1)) {
 					p.Flush(q.head)
 					p.Fence()
@@ -275,8 +277,7 @@ func (h *Handle) Dequeue() (v uint64, ok bool) {
 				p.Write(cra+retVal, val)
 				p.Write(cra+retOK, 1)
 				p.Write(cra+retSeq, claimSeq(deq)) // guard last
-				p.Flush(cra)
-				p.Fence()
+				p.PersistEpoch(cra+retVal, cra+retOK, cra+retSeq)
 			}
 			if p.CAS(q.head, hd, packPtr(idxOf(nx), tagOf(hd)+1)) {
 				p.Flush(q.head)
@@ -297,7 +298,9 @@ func (h *Handle) AnnouncePendingEnqueue() {
 	p.Write(na+offVal, 0)
 	p.Write(na+offNext, packPtr(0, tagOf(p.Read(na+offNext))+1))
 	p.Write(na+offDeq, packReset(h.pid+1, h.seq+1))
-	p.Flush(na)
+	// Fence before announcing, as in Enqueue: a durable announce must
+	// imply a durable node reset.
+	p.PersistEpoch(na+offVal, na+offNext, na+offDeq)
 	h.announce(OpEnq, n)
 }
 

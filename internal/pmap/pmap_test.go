@@ -299,3 +299,38 @@ func TestGeometryRounding(t *testing.T) {
 		t.Fatalf("buckets %d", m.Buckets())
 	}
 }
+
+// TestPutCoalescesFlushes pins the write-combining layer on the map's
+// Put path: over full two-copy frames, the probe capsule's boundary
+// persists the key, value and resolved-bucket locals with one flush per
+// written word, and the same-line repeats coalesce — so effective
+// flushes per Put are strictly below issued flushes, where before the
+// layer the two were equal by definition.
+func TestPutCoalescesFlushes(t *testing.T) {
+	rt, m, ms := fixture(t, Config{P: 1, Buckets: 128, Opt: false, Durable: true}, nil)
+	mc := ms[0]
+	port := rt.Proc(0).Mem()
+	before := port.Stats
+	const puts = 64
+	for i := uint64(1); i <= puts; i++ {
+		if !put(mc, m, i, i*10) {
+			t.Fatalf("put %d failed", i)
+		}
+	}
+	issued := port.Stats.Flushes - before.Flushes
+	coalesced := port.Stats.CoalescedFlushes - before.CoalescedFlushes
+	if issued == 0 {
+		t.Fatal("puts issued no flushes")
+	}
+	if coalesced == 0 {
+		t.Fatalf("no coalescing on the Put path: %d issued", issued)
+	}
+	if coalesced >= issued {
+		t.Fatalf("coalesced %d >= issued %d", coalesced, issued)
+	}
+	// At least one repeat per Put boundary (key and value slots share a
+	// frame line).
+	if coalesced < puts {
+		t.Fatalf("expected >= %d coalesced flushes, got %d", puts, coalesced)
+	}
+}

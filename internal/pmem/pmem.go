@@ -110,6 +110,11 @@ type writeRec struct {
 type line struct {
 	mu  sync.Mutex
 	log []writeRec
+	// queued marks the line as present in the memory's dirty-line
+	// index (guarded by mu). Set on the first log append after the
+	// line was last visited by a crash/scan walk; cleared only by the
+	// walker, so a line is in the index at most once.
+	queued bool
 }
 
 // Memory is a simulated persistent memory.
@@ -123,6 +128,13 @@ type Memory struct {
 	// Checked-mode shadow state.
 	persisted []uint64 // durable image
 	lines     []line
+
+	// dirtyIdx indexes the lines whose queued flag is set: every line
+	// with unpersisted writes is in it (a superset — lazily compacted),
+	// so crash materialization and dirty scans walk O(dirty lines)
+	// instead of locking every line of the memory.
+	dirtyMu  sync.Mutex
+	dirtyIdx []uint64
 
 	crashMu sync.Mutex // serializes crash materialization
 	rng     *rand.Rand // guarded by crashMu
@@ -218,12 +230,36 @@ func (m *Memory) store(a Addr, v uint64) {
 		atomic.StoreUint64(&m.persisted[a], v)
 		ln.mu.Unlock()
 	default:
-		ln := &m.lines[lineOf(a)]
+		li := lineOf(a)
+		ln := &m.lines[li]
 		ln.mu.Lock()
 		atomic.StoreUint64(&m.words[a], v)
 		ln.log = append(ln.log, writeRec{off: uint8(a & LineMask), val: v})
+		m.enqueueDirtyLocked(li, ln)
 		ln.mu.Unlock()
 	}
+}
+
+// enqueueDirtyLocked adds the line to the dirty index on its first log
+// append since the last walk. Callers must hold ln.mu (lock order is
+// line → dirtyMu; walkers never lock a line while holding dirtyMu).
+func (m *Memory) enqueueDirtyLocked(li uint64, ln *line) {
+	if ln.queued {
+		return
+	}
+	ln.queued = true
+	m.dirtyMu.Lock()
+	m.dirtyIdx = append(m.dirtyIdx, li)
+	m.dirtyMu.Unlock()
+}
+
+// takeDirty detaches the current dirty index for a walk.
+func (m *Memory) takeDirty() []uint64 {
+	m.dirtyMu.Lock()
+	idx := m.dirtyIdx
+	m.dirtyIdx = nil
+	m.dirtyMu.Unlock()
+	return idx
 }
 
 // cas performs a compare-and-swap on a word, with the same durability
@@ -242,11 +278,13 @@ func (m *Memory) cas(a Addr, old, new uint64) bool {
 		ln.mu.Unlock()
 		return ok
 	default:
-		ln := &m.lines[lineOf(a)]
+		li := lineOf(a)
+		ln := &m.lines[li]
 		ln.mu.Lock()
 		ok := atomic.CompareAndSwapUint64(&m.words[a], old, new)
 		if ok {
 			ln.log = append(ln.log, writeRec{off: uint8(a & LineMask), val: new})
+			m.enqueueDirtyLocked(li, ln)
 		}
 		ln.mu.Unlock()
 		return ok
@@ -304,16 +342,17 @@ func (m *Memory) Crash() {
 	}
 	m.crashMu.Lock()
 	defer m.crashMu.Unlock()
-	for li := range m.lines {
+	// A line diverges from the durable image only while it has
+	// unpersisted writes (stores log; flushLine syncs and clears), and
+	// every such line is in the dirty index — so the walk costs
+	// O(lines dirtied since the last crash), not O(memory size).
+	for _, li := range m.takeDirty() {
 		ln := &m.lines[li]
 		ln.mu.Lock()
-		// A line diverges from the durable image only while it has
-		// unpersisted writes (stores log; flushLine syncs and clears), so
-		// clean lines need no work — crashes cost O(dirty lines), not
-		// O(memory size).
+		ln.queued = false
 		if len(ln.log) > 0 {
 			k := m.rng.Intn(len(ln.log) + 1)
-			base := uint64(li) * WordsPerLine
+			base := li * WordsPerLine
 			for _, w := range ln.log[:k] {
 				atomic.StoreUint64(&m.persisted[base+uint64(w.off)], w.val)
 			}
@@ -339,11 +378,12 @@ func (m *Memory) CrashLossy(evictAll bool) {
 	}
 	m.crashMu.Lock()
 	defer m.crashMu.Unlock()
-	for li := range m.lines {
+	for _, li := range m.takeDirty() {
 		ln := &m.lines[li]
 		ln.mu.Lock()
+		ln.queued = false
 		if len(ln.log) > 0 { // clean lines already match the durable image
-			base := uint64(li) * WordsPerLine
+			base := li * WordsPerLine
 			if evictAll {
 				for _, w := range ln.log {
 					atomic.StoreUint64(&m.persisted[base+uint64(w.off)], w.val)
@@ -377,14 +417,31 @@ func (m *Memory) DirtyLines() int {
 	if !m.cfg.Checked || m.cfg.Mode == Private {
 		return 0
 	}
+	// Walk only the dirty index, compacting it as a side effect: lines
+	// that were flushed since they were queued are dropped (their
+	// queued flag cleared so a later store re-queues them). crashMu
+	// keeps the detached index out of a concurrent Crash's view — a
+	// crash racing this scan must still see every dirty line.
+	m.crashMu.Lock()
+	defer m.crashMu.Unlock()
+	idx := m.takeDirty()
 	n := 0
-	for li := range m.lines {
+	keep := idx[:0]
+	for _, li := range idx {
 		ln := &m.lines[li]
 		ln.mu.Lock()
 		if len(ln.log) > 0 {
 			n++
+			keep = append(keep, li)
+		} else {
+			ln.queued = false
 		}
 		ln.mu.Unlock()
+	}
+	if len(keep) > 0 {
+		m.dirtyMu.Lock()
+		m.dirtyIdx = append(m.dirtyIdx, keep...)
+		m.dirtyMu.Unlock()
 	}
 	return n
 }

@@ -1,8 +1,10 @@
 package pmem
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func newShared(t *testing.T, words uint64) *Memory {
@@ -329,6 +331,207 @@ func TestQuickCrashNeverInvents(t *testing.T) {
 	}
 }
 
+func TestCoalescedFlushCountedNotRecharged(t *testing.T) {
+	// A repeat flush of a line already pending in the epoch is counted
+	// in CoalescedFlushes (and still in Flushes) but charges no
+	// FlushDelay and schedules no second write-back.
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	p.Write(a, 1)
+	p.Write(a+1, 2)
+	p.Flush(a)
+	p.Flush(a + 1) // same line: coalesced
+	p.Flush(a)     // repeat: coalesced
+	if p.Stats.Flushes != 3 || p.Stats.CoalescedFlushes != 2 {
+		t.Fatalf("stats: %+v", p.Stats)
+	}
+	if p.Stats.EffectiveFlushes() != 1 || p.PendingLines() != 1 {
+		t.Fatalf("effective=%d pending=%d", p.Stats.EffectiveFlushes(), p.PendingLines())
+	}
+	p.Fence()
+	if p.Stats.LinesPersisted != 1 {
+		t.Fatalf("lines persisted: %d", p.Stats.LinesPersisted)
+	}
+	if m.PersistedWord(a) != 1 || m.PersistedWord(a+1) != 2 {
+		t.Fatal("coalesced epoch did not persist the line")
+	}
+
+	// Latency: with a large FlushDelay, coalesced flushes must be far
+	// cheaper than charged ones — they skip the delay spin entirely.
+	// The timed window holds only the coalesced repeats (the epoch is
+	// opened outside it) and the margin is wide, so an OS preemption of
+	// several milliseconds cannot fail a correct build.
+	fast := New(Config{Words: 1 << 8, FlushDelay: 1 << 20})
+	fp := fast.NewPort()
+	x := fast.Alloc(1)
+	const reps = 32
+	start := time.Now()
+	for i := 0; i < reps; i++ {
+		fp.Flush(x)
+		fp.Fence() // close the epoch: every flush is charged
+	}
+	charged := time.Since(start)
+	fp.Flush(x) // open one epoch outside the timed window
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		fp.Flush(x) // every one coalesces
+	}
+	coalesced := time.Since(start)
+	if coalesced*3 > charged {
+		t.Fatalf("coalesced flushes look re-charged: %v charged vs %v coalesced", charged, coalesced)
+	}
+}
+
+func TestFlushRangeSpansLines(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(3)
+	// Write across three lines starting mid-line; FlushRange must cover
+	// every touched line regardless of alignment.
+	start := a + 5
+	const n = 12 // spans lines a, a+8, a+16
+	for i := uint64(0); i < n; i++ {
+		p.Write(start+Addr(i), i+1)
+	}
+	p.FlushRange(start, n)
+	if p.Stats.Flushes != 3 || p.Stats.CoalescedFlushes != 0 {
+		t.Fatalf("stats: %+v", p.Stats)
+	}
+	p.Fence()
+	for i := uint64(0); i < n; i++ {
+		if got := m.PersistedWord(start + Addr(i)); got != i+1 {
+			t.Fatalf("word %d not durable: %d", i, got)
+		}
+	}
+	// Zero-length range is a no-op.
+	p.FlushRange(a, 0)
+	if p.Stats.Flushes != 3 {
+		t.Fatalf("zero-length range issued a flush: %+v", p.Stats)
+	}
+}
+
+func TestCASDrainClearsEpoch(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	p.Write(a, 5)
+	p.Flush(a)
+	// The CAS completes the epoch (Section 10 elision): the line is
+	// persisted and the epoch cleared, so a re-flush of the same line is
+	// a fresh effective flush, not a coalesced repeat.
+	p.CAS(b, 0, 1)
+	if m.PersistedWord(a) != 5 {
+		t.Fatalf("CAS did not drain the epoch")
+	}
+	if p.Stats.LinesPersisted != 1 || p.PendingLines() != 0 {
+		t.Fatalf("stats after CAS drain: %+v pending=%d", p.Stats, p.PendingLines())
+	}
+	p.Write(a, 6)
+	p.Flush(a)
+	if p.Stats.CoalescedFlushes != 0 || p.PendingLines() != 1 {
+		t.Fatalf("post-drain flush wrongly coalesced: %+v", p.Stats)
+	}
+}
+
+func TestDropPendingLosesCoalescedLine(t *testing.T) {
+	// A crash between Flush and Fence loses the line even when later
+	// flushes of it were coalesced: coalescing marks the line pending,
+	// it does not make it durable.
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	p.Write(a, 5)
+	p.Flush(a)
+	p.Flush(a)      // coalesced
+	p.Flush(a)      // coalesced
+	p.DropPending() // the process crashes before its fence
+	m.CrashLossy(false)
+	if got := m.VisibleWord(a); got != 0 {
+		t.Fatalf("coalesced unfenced flush survived a lossy crash: %d", got)
+	}
+	if p.PendingLines() != 0 || p.HasUnfencedFlush() {
+		t.Fatal("DropPending left epoch state behind")
+	}
+}
+
+func TestPersistEpoch(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	b := m.AllocLines(1)
+	p.Write(a, 1)
+	p.Write(a+3, 2)
+	p.Write(b, 3)
+	p.PersistEpoch(a, a+3, b)
+	if p.Stats.Flushes != 3 || p.Stats.CoalescedFlushes != 1 || p.Stats.Fences != 1 {
+		t.Fatalf("stats: %+v", p.Stats)
+	}
+	if m.PersistedWord(a) != 1 || m.PersistedWord(a+3) != 2 || m.PersistedWord(b) != 3 {
+		t.Fatal("PersistEpoch did not persist all addresses")
+	}
+	if p.Stats.LinesPersisted != 2 {
+		t.Fatalf("lines persisted: %d", p.Stats.LinesPersisted)
+	}
+}
+
+func TestPendingSpillToSet(t *testing.T) {
+	// Epochs larger than the linear-scan threshold switch to the map
+	// index; coalescing and draining must behave identically.
+	m := newShared(t, 1<<12)
+	p := m.NewPort()
+	base := m.AllocLines(pendingSpill + 8)
+	for i := uint64(0); i < pendingSpill+8; i++ {
+		a := base + Addr(i)*WordsPerLine
+		p.Write(a, i+1)
+		p.Flush(a)
+	}
+	for i := uint64(0); i < pendingSpill+8; i++ {
+		p.Flush(base + Addr(i)*WordsPerLine) // all coalesced via the map
+	}
+	if p.Stats.CoalescedFlushes != pendingSpill+8 {
+		t.Fatalf("stats: %+v", p.Stats)
+	}
+	p.Fence()
+	for i := uint64(0); i < pendingSpill+8; i++ {
+		if got := m.PersistedWord(base + Addr(i)*WordsPerLine); got != i+1 {
+			t.Fatalf("line %d not persisted: %d", i, got)
+		}
+	}
+	// The spill index is gone with the epoch.
+	p.Flush(base)
+	if p.Stats.CoalescedFlushes != pendingSpill+8 {
+		t.Fatalf("fresh epoch wrongly coalesced: %+v", p.Stats)
+	}
+}
+
+func TestDirtyIndexSurvivesFlushAndRedirty(t *testing.T) {
+	// flushLine leaves the line queued (lazy removal); re-dirtying it
+	// must not duplicate crash processing or lose the line.
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	p.Write(a, 1)
+	p.FlushFence(a)
+	if n := m.DirtyLines(); n != 0 {
+		t.Fatalf("dirty after flush: %d", n)
+	}
+	p.Write(a, 2) // re-dirty the same line
+	if n := m.DirtyLines(); n != 1 {
+		t.Fatalf("re-dirtied line not counted: %d", n)
+	}
+	m.CrashLossy(false)
+	if got := m.VisibleWord(a); got != 1 {
+		t.Fatalf("crash did not revert the re-dirtied line: %d", got)
+	}
+	p.Write(a, 3)
+	m.CrashLossy(true)
+	if got := m.VisibleWord(a); got != 3 {
+		t.Fatalf("line missing from dirty index after crash cycle: %d", got)
+	}
+}
+
 func BenchmarkPortWrite(b *testing.B) {
 	m := New(Config{Words: 1 << 10})
 	p := m.NewPort()
@@ -346,6 +549,43 @@ func BenchmarkPortCAS(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.CAS(a, uint64(i), uint64(i+1))
+	}
+}
+
+// BenchmarkCrashSparseDirty pins the dirty-line index: with a handful
+// of dirty lines, Crash and DirtyLines must cost O(dirty lines), not
+// O(memory size) — the per-op cost must not grow with the words axis.
+// (Before the index, a 2^22-word memory locked 2^19 line mutexes per
+// crash; with it, only the 16 dirty lines are visited.)
+func BenchmarkCrashSparseDirty(b *testing.B) {
+	for _, words := range []uint64{1 << 14, 1 << 18, 1 << 22} {
+		b.Run(fmt.Sprintf("words%d", words), func(b *testing.B) {
+			m := New(Config{Words: words, Mode: Shared, Checked: true, Seed: 1})
+			p := m.NewPort()
+			base := m.AllocLines(16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for k := uint64(0); k < 16; k++ {
+					p.Write(base+Addr(k)*WordsPerLine, uint64(i))
+				}
+				m.Crash()
+			}
+		})
+	}
+}
+
+func BenchmarkDirtyLinesSparse(b *testing.B) {
+	m := New(Config{Words: 1 << 22, Mode: Shared, Checked: true, Seed: 1})
+	p := m.NewPort()
+	base := m.AllocLines(16)
+	for k := uint64(0); k < 16; k++ {
+		p.Write(base+Addr(k)*WordsPerLine, 1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := m.DirtyLines(); n != 16 {
+			b.Fatalf("dirty lines: %d", n)
+		}
 	}
 }
 

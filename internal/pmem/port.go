@@ -5,14 +5,32 @@ package pmem
 // flushes, and fences (Sections 3 and 10); these counters let the
 // benchmark harness report those hardware-independent costs alongside
 // throughput.
+//
+// Flushes counts *issued* flush instructions. Since the Port models
+// clflushopt idempotence within an sfence epoch (a line already
+// scheduled for write-back is not written back twice), a repeat flush
+// of a pending line is additionally counted in CoalescedFlushes and
+// charged no FlushDelay. Flushes − CoalescedFlushes is the *effective*
+// flush count — the number of line write-backs actually scheduled,
+// which is what the paper's hand counts correspond to.
 type Stats struct {
-	Reads      uint64
-	Writes     uint64
-	CASes      uint64
-	Flushes    uint64
-	Fences     uint64
-	Boundaries uint64 // capsule boundaries (incremented by the capsule package)
-	Steps      uint64 // total instrumented steps
+	Reads   uint64
+	Writes  uint64
+	CASes   uint64
+	Flushes uint64
+	// CoalescedFlushes counts issued flushes whose target line was
+	// already pending in the current fence epoch: counted, but charged
+	// no FlushDelay and causing no second write-back.
+	CoalescedFlushes uint64
+	// LinesPersisted counts distinct lines drained to durable storage,
+	// and Drains the epoch completions that did it — fences, fencing
+	// CASes (the Section 10 elision), and Auto-mode synthetic fences.
+	// LinesPersisted/Drains is the write-combining quality metric.
+	LinesPersisted uint64
+	Drains         uint64
+	Fences         uint64
+	Boundaries     uint64 // capsule boundaries (incremented by the capsule package)
+	Steps          uint64 // total instrumented steps
 }
 
 // Add accumulates other into s.
@@ -21,10 +39,23 @@ func (s *Stats) Add(other Stats) {
 	s.Writes += other.Writes
 	s.CASes += other.CASes
 	s.Flushes += other.Flushes
+	s.CoalescedFlushes += other.CoalescedFlushes
+	s.LinesPersisted += other.LinesPersisted
+	s.Drains += other.Drains
 	s.Fences += other.Fences
 	s.Boundaries += other.Boundaries
 	s.Steps += other.Steps
 }
+
+// EffectiveFlushes returns the number of line write-backs actually
+// scheduled: issued flushes minus the coalesced repeats.
+func (s Stats) EffectiveFlushes() uint64 { return s.Flushes - s.CoalescedFlushes }
+
+// pendingSpill is the pending-epoch size beyond which membership checks
+// switch from a linear scan to a map. Fence epochs of the paper's
+// algorithms span a handful of lines; only bulk setup paths (frame
+// installs, array initialization) grow past this.
+const pendingSpill = 32
 
 // Port is a single process's handle on a Memory. A Port is not safe for
 // concurrent use: each simulated process owns exactly one.
@@ -35,6 +66,12 @@ func (s *Stats) Add(other Stats) {
 // semantics); the line becomes durable at the next Fence (sfence), so a
 // crash between Flush and Fence can still lose the line — exactly the
 // failure mode the paper's boundary protocol must tolerate.
+//
+// The Port is also the write-combining layer: it tracks the set of
+// distinct lines flushed since the last fence (in every mode), and a
+// repeat flush of a pending line coalesces — it is counted (Stats.
+// CoalescedFlushes) but charged no FlushDelay and scheduled no second
+// write-back, mirroring clflushopt idempotence within an sfence epoch.
 type Port struct {
 	m *Memory
 	// Hook, if non-nil, is called at the start of every instrumented
@@ -47,8 +84,12 @@ type Port struct {
 	// algorithm into a durably linearizable shared-model one.
 	Auto bool
 
-	Stats   Stats
-	pending []uint64 // lines flushed since the last fence (checked shared mode)
+	Stats Stats
+	// pending is the set of distinct lines flushed since the last
+	// fence (the current epoch), in every mode. pendingSet mirrors it
+	// for O(1) membership once the epoch spills past pendingSpill.
+	pending    []uint64
+	pendingSet map[uint64]struct{}
 	// unfenced tracks (in every mode) whether a Flush has been issued
 	// with no Fence/CAS since: commit protocols must fence before a
 	// commit write that could become durable by eviction, or the
@@ -95,11 +136,11 @@ func (p *Port) Write(a Addr, v uint64) {
 // CAS atomically replaces the value of word a with new if it equals old,
 // reporting whether it did.
 //
-// In checked mode a CAS completes the process's pending (unfenced)
-// flushes first: the paper's optimized variants elide an sfence when it
-// is immediately followed by a CAS, relying on the locked instruction's
-// ordering ("removing fences that are followed by a CAS, as it already
-// contains a fence", Section 10). We adopt that favorable hardware
+// A CAS completes the process's pending (unfenced) flushes first: the
+// paper's optimized variants elide an sfence when it is immediately
+// followed by a CAS, relying on the locked instruction's ordering
+// ("removing fences that are followed by a CAS, as it already contains
+// a fence", Section 10). We adopt that favorable hardware
 // interpretation uniformly so that checked-mode crash testing of the
 // Opt variants remains sound; the *cost* difference between the
 // variants is still visible because the elided Fence is simply not
@@ -108,12 +149,7 @@ func (p *Port) CAS(a Addr, old, new uint64) bool {
 	p.step()
 	p.Stats.CASes++
 	p.unfenced = false
-	if len(p.pending) > 0 {
-		for _, li := range p.pending {
-			p.m.flushLine(li)
-		}
-		p.pending = p.pending[:0]
-	}
+	p.drain()
 	ok := p.m.cas(a, old, new)
 	if p.Auto {
 		p.flushFence(a)
@@ -123,16 +159,88 @@ func (p *Port) CAS(a Addr, old, new uint64) bool {
 
 // Flush schedules write-back of the cache line containing a
 // (clflushopt). The line is guaranteed durable only after the next
-// Fence. Flushing is idempotent and cheap to repeat.
+// Fence. Flushing is idempotent: a repeat flush of a line already
+// pending in this epoch coalesces — counted, not re-charged. The
+// common small-epoch membership check is an inlined linear scan; the
+// map mirror takes over only past pendingSpill.
 func (p *Port) Flush(a Addr) {
 	p.step()
 	p.Stats.Flushes++
 	p.unfenced = true
+	li := lineOf(a)
+	if p.pendingSet == nil {
+		for _, x := range p.pending {
+			if x == li {
+				p.Stats.CoalescedFlushes++
+				return
+			}
+		}
+		p.pending = append(p.pending, li)
+		if len(p.pending) > pendingSpill {
+			p.pendingSet = make(map[uint64]struct{}, 2*len(p.pending))
+			for _, x := range p.pending {
+				p.pendingSet[x] = struct{}{}
+			}
+		}
+	} else {
+		if _, ok := p.pendingSet[li]; ok {
+			p.Stats.CoalescedFlushes++
+			return
+		}
+		p.pending = append(p.pending, li)
+		p.pendingSet[li] = struct{}{}
+	}
+	p.m.delay(p.m.cfg.FlushDelay)
+}
+
+// FlushRange schedules write-back of every cache line covering the
+// nwords words starting at a. Each distinct line is one issued Flush
+// (one instrumented step), so batch persists of line-aligned regions
+// coalesce by construction.
+func (p *Port) FlushRange(a Addr, nwords uint64) {
+	if nwords == 0 {
+		return
+	}
+	for li := lineOf(a); li <= lineOf(a+Addr(nwords)-1); li++ {
+		p.Flush(li * WordsPerLine)
+	}
+}
+
+// FlushAddrs schedules write-back of the line of each address. This is
+// the batch persist idiom: flush every word you wrote and let the
+// write-combining layer drop same-line repeats.
+func (p *Port) FlushAddrs(addrs ...Addr) {
+	for _, a := range addrs {
+		p.Flush(a)
+	}
+}
+
+// PersistEpoch flushes the line of each address and closes the epoch
+// with a single Fence: the multi-word durability point in one call.
+func (p *Port) PersistEpoch(addrs ...Addr) {
+	p.FlushAddrs(addrs...)
+	p.Fence()
+}
+
+// drain completes the epoch's pending write-backs (at a Fence, or at a
+// CAS per the Section 10 elision) and accounts the lines persisted.
+func (p *Port) drain() {
+	n := len(p.pending)
+	if n == 0 {
+		return
+	}
+	p.Stats.LinesPersisted += uint64(n)
+	p.Stats.Drains++
 	m := p.m
 	if m.cfg.Checked && m.cfg.Mode == Shared {
-		p.pending = append(p.pending, lineOf(a))
+		for _, li := range p.pending {
+			m.flushLine(li)
+		}
 	}
-	m.delay(m.cfg.FlushDelay)
+	p.pending = p.pending[:0]
+	if p.pendingSet != nil {
+		p.pendingSet = nil
+	}
 }
 
 // Fence orders and completes all flushes issued by this process since
@@ -141,14 +249,8 @@ func (p *Port) Fence() {
 	p.step()
 	p.Stats.Fences++
 	p.unfenced = false
-	m := p.m
-	if len(p.pending) > 0 {
-		for _, li := range p.pending {
-			m.flushLine(li)
-		}
-		p.pending = p.pending[:0]
-	}
-	m.delay(m.cfg.FenceDelay)
+	p.drain()
+	p.m.delay(p.m.cfg.FenceDelay)
 }
 
 // FlushFence is the common flush-then-fence pair.
@@ -158,12 +260,29 @@ func (p *Port) FlushFence(a Addr) {
 }
 
 // flushFence implements the Auto (Izraelevitz) per-access persist
-// without double-charging the crash hook for the synthetic ops.
+// without double-charging the crash hook for the synthetic ops. The
+// synthetic sfence is a real fence: it completes any explicitly
+// flushed lines still pending in the epoch along with the accessed
+// line, as one drain.
 func (p *Port) flushFence(a Addr) {
 	p.Stats.Flushes++
 	p.Stats.Fences++
+	p.unfenced = false
 	m := p.m
-	if m.cfg.Checked && m.cfg.Mode == Shared {
+	checked := m.cfg.Checked && m.cfg.Mode == Shared
+	if n := len(p.pending); n > 0 {
+		p.Stats.LinesPersisted += uint64(n)
+		if checked {
+			for _, li := range p.pending {
+				m.flushLine(li)
+			}
+		}
+		p.pending = p.pending[:0]
+		p.pendingSet = nil
+	}
+	p.Stats.Drains++
+	p.Stats.LinesPersisted++
+	if checked {
 		m.flushLine(lineOf(a))
 	}
 	m.delay(m.cfg.FlushDelay)
@@ -172,12 +291,19 @@ func (p *Port) flushFence(a Addr) {
 
 // DropPending discards flushes scheduled but not yet fenced. The proc
 // runtime calls this when the process crashes: an unfenced clflushopt
-// has no durability guarantee. (Whether the hardware happened to
-// complete it is subsumed by the crash's random-prefix line policy.)
+// has no durability guarantee — including a flush that was coalesced
+// into the epoch rather than issued first. (Whether the hardware
+// happened to complete it is subsumed by the crash's random-prefix
+// line policy.)
 func (p *Port) DropPending() {
 	p.pending = p.pending[:0]
+	p.pendingSet = nil
 	p.unfenced = false
 }
+
+// PendingLines returns the number of distinct lines scheduled for
+// write-back in the current epoch; for tests and debuggers.
+func (p *Port) PendingLines() int { return len(p.pending) }
 
 // HasUnfencedFlush reports whether a flush has been issued with no
 // fence (or fencing CAS) since. Commit protocols consult it: a commit

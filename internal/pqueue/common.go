@@ -83,10 +83,7 @@ func (b *base) Init(port *pmem.Port, firstReserved uint32) {
 	rcas.InitCell(port, b.Arena.Next(DummyNode), 0, rcas.Alias(0, b.P), 0)
 	rcas.InitCell(port, b.head, uint64(DummyNode), rcas.Alias(0, b.P), 0)
 	rcas.InitCell(port, b.tail, uint64(DummyNode), rcas.Alias(0, b.P), 0)
-	port.Flush(b.Arena.Next(DummyNode))
-	port.Flush(b.head)
-	port.Flush(b.tail)
-	port.Fence()
+	port.PersistEpoch(b.Arena.Next(DummyNode), b.head, b.tail)
 	for i := 0; i < b.P; i++ {
 		lo, hi := b.Arena.Range(i, b.P, firstReserved)
 		b.h[i] = &handle{pa: qnode.NewPersistentAlloc(b.Mem, port, b.Arena, lo, hi)}
@@ -123,8 +120,9 @@ func (b *base) alloc(c *capsule.Ctx, v uint64) uint32 {
 	p.Write(b.Arena.Val(n), v)
 	rcas.InitCell(p, b.Arena.Next(n), 0, rcas.Alias(pid, b.P), c.Seq())
 	if b.Durable {
-		// One line covers both value and link.
-		p.Flush(b.Arena.Addr(n))
+		// Value and link share the node's line: the batch flush issues
+		// one per written word, and the second coalesces.
+		p.FlushAddrs(b.Arena.Val(n), b.Arena.Next(n))
 		b.maybeFence(p)
 	}
 	return n
@@ -165,10 +163,10 @@ func (b *base) maybeFence(p *pmem.Port) {
 }
 
 // persist flushes addr and fences (always fencing: used where no CAS
-// follows).
+// follows). When the recoverable-CAS layer already flushed the cell in
+// this epoch, the flush coalesces.
 func (b *base) persist(p *pmem.Port, addr pmem.Addr) {
-	p.Flush(addr)
-	p.Fence()
+	p.PersistEpoch(addr)
 }
 
 // HeadAddr returns the head cell's address (for recovery audits and

@@ -137,7 +137,8 @@ func (s *Stack) pushGen(c *capsule.Ctx) {
 	// Link the private node to the current top; repetition rewrites it.
 	rcas.InitCell(p, s.arena.Next(n), rcas.Val(top), pid, c.Seq())
 	if s.durable {
-		p.Flush(s.arena.Addr(n))
+		// Value and link share the node's line; the repeat coalesces.
+		p.FlushAddrs(s.arena.Val(n), s.arena.Next(n))
 	}
 	c.SetLocal(sN, uint64(n))
 	c.SetLocal(sTop, top)
@@ -158,8 +159,8 @@ func (s *Stack) pushExec(c *capsule.Ctx) {
 	}
 	if ok {
 		if s.durable {
-			p.Flush(s.top)
-			p.Fence()
+			// The recoverable CAS already flushed the cell; coalesces.
+			p.PersistEpoch(s.top)
 		}
 		c.Done()
 		return
@@ -169,7 +170,7 @@ func (s *Stack) pushExec(c *capsule.Ctx) {
 	top = s.space.ReadFull(p, s.top)
 	rcas.InitCell(p, s.arena.Next(n), rcas.Val(top), pid, c.Seq())
 	if s.durable {
-		p.Flush(s.arena.Addr(n))
+		p.Flush(s.arena.Next(n))
 	}
 	c.SetLocal(sTop, top)
 	c.Boundary(pcPushExec)
@@ -195,7 +196,9 @@ func (s *Stack) popGenerate(c *capsule.Ctx) bool {
 	nx := s.space.ReadFull(p, s.arena.Next(n))
 	v := p.Read(s.arena.Val(n))
 	if s.durable {
-		p.Flush(s.arena.Addr(n))
+		// Persist the link (and value) the decision depends on; the
+		// two words share the node's line, so the second coalesces.
+		p.FlushAddrs(s.arena.Next(n), s.arena.Val(n))
 	}
 	c.SetLocal(sTop, top)
 	c.SetLocal(sNx, nx)
@@ -217,8 +220,8 @@ func (s *Stack) popExec(c *capsule.Ctx) {
 	}
 	if ok {
 		if s.durable {
-			p.Flush(s.top)
-			p.Fence()
+			// The recoverable CAS already flushed the cell; coalesces.
+			p.PersistEpoch(s.top)
 		}
 		n := uint32(rcas.Val(top))
 		fh := s.pa[pid].FreeHead(p)

@@ -133,7 +133,7 @@ func NewPersistentAlloc(mem *pmem.Memory, port *pmem.Port, arena *Arena, lo, hi 
 	pa := &PersistentAlloc{arena: arena, state: mem.AllocLines(1), limit: hi}
 	port.Write(pa.state+0, uint64(lo))
 	port.Write(pa.state+1, 0)
-	port.FlushFence(pa.state)
+	port.PersistEpoch(pa.state+0, pa.state+1)
 	return pa
 }
 
@@ -155,8 +155,7 @@ func (pa *PersistentAlloc) Alloc(p *pmem.Port, freeLink func(word uint64) uint32
 	if h := uint32(p.Read(pa.state + 1)); h != 0 {
 		nf := freeLink(p.Read(pa.arena.Next(h)))
 		p.Write(pa.state+1, uint64(nf))
-		p.Flush(pa.state)
-		p.Fence()
+		p.PersistEpoch(pa.state + 1)
 		return h
 	}
 	b := uint32(p.Read(pa.state + 0))
@@ -183,10 +182,9 @@ func (pa *PersistentAlloc) Free(p *pmem.Port, i uint32, link uint64) {
 		return
 	}
 	p.Write(pa.arena.Next(i), link)
-	p.Flush(pa.arena.Next(i))
-	p.Fence()
+	p.PersistEpoch(pa.arena.Next(i))
 	p.Write(pa.state+1, uint64(i))
-	p.Flush(pa.state)
+	p.Flush(pa.state + 1)
 }
 
 // FreeHead returns the current free-list head (0 if empty); used by

@@ -129,3 +129,45 @@ func TestPersistentAllocFreeCrashOrdering(t *testing.T) {
 		}
 	}
 }
+
+// TestAllocNodeInitCoalesces pins the allocation-site batch idiom every
+// queue and stack variant uses: after Alloc, the caller writes the
+// node's value and link words — one line — and flushes both addresses;
+// the second flush coalesces, so the node init is charged one line
+// write-back, not two.
+func TestAllocNodeInitCoalesces(t *testing.T) {
+	mem, a := newArena(t, 16)
+	port := mem.NewPort()
+	pa := NewPersistentAlloc(mem, port, a, 2, 10)
+	before := port.Stats
+	n := pa.Alloc(port, func(w uint64) uint32 { return uint32(w) })
+	port.Write(a.Val(n), 42)
+	port.Write(a.Next(n), 7)
+	port.FlushAddrs(a.Val(n), a.Next(n))
+	port.Fence()
+	issued := port.Stats.Flushes - before.Flushes
+	coalesced := port.Stats.CoalescedFlushes - before.CoalescedFlushes
+	// Bump-path alloc: one state flush; node init: two issued flushes of
+	// one line, so exactly one coalesces.
+	if issued != 3 || coalesced != 1 {
+		t.Fatalf("alloc+init flush accounting: issued=%d coalesced=%d", issued, coalesced)
+	}
+	if mem.PersistedWord(a.Val(n)) != 42 || mem.PersistedWord(a.Next(n)) != 7 {
+		t.Fatal("node init not durable after the batch epoch")
+	}
+}
+
+// TestAllocatorInitEpoch pins NewPersistentAlloc's PersistEpoch: the
+// cursor and free-head share the state line, so initializing costs one
+// effective flush.
+func TestAllocatorInitEpoch(t *testing.T) {
+	mem, a := newArena(t, 8)
+	port := mem.NewPort()
+	pa := NewPersistentAlloc(mem, port, a, 3, 9)
+	if port.Stats.CoalescedFlushes != 1 || port.Stats.EffectiveFlushes() != 1 {
+		t.Fatalf("init epoch accounting: %+v", port.Stats)
+	}
+	if mem.PersistedWord(pa.StateAddr()) != 3 || mem.PersistedWord(pa.StateAddr()+1) != 0 {
+		t.Fatal("allocator state not durable")
+	}
+}

@@ -103,20 +103,10 @@ func New(mem *pmem.Memory, port *pmem.Port, M, P int, init func(j int) uint64) *
 	// must not revert the array to zeroes in the shared-cache model. The
 	// regions are not necessarily line-aligned (Alloc packs), so flush
 	// every line the words span, not a stride from the base.
-	flushSpan(port, a.b, uint64(M))
-	flushSpan(port, a.ptr, uint64(M))
+	port.FlushRange(a.b, uint64(M))
+	port.FlushRange(a.ptr, uint64(M))
 	port.Fence()
 	return a
-}
-
-// flushSpan flushes every cache line covering words [base, base+n).
-func flushSpan(port *pmem.Port, base pmem.Addr, n uint64) {
-	if n == 0 {
-		return
-	}
-	for li := pmem.LineOf(base); li <= pmem.LineOf(base+pmem.Addr(n-1)); li++ {
-		port.Flush(li * pmem.WordsPerLine)
-	}
 }
 
 // SetDurable toggles the manual-flush durability protocol. Call before

@@ -42,11 +42,13 @@ func PrintTable(w io.Writer, title string, results []Result) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "per-operation costs at %d thread(s)\n", threads[0])
-	fmt.Fprintf(w, "%-24s %10s %10s %10s %10s\n", "kind", "flush/op", "fence/op", "cas/op", "bound/op")
+	fmt.Fprintf(w, "%-24s %10s %12s %10s %10s %10s %11s\n",
+		"kind", "flush/op", "eff-flush/op", "fence/op", "cas/op", "bound/op", "lines/drain")
 	for _, k := range kinds {
 		r := byKind[k][threads[0]]
-		fmt.Fprintf(w, "%-24s %10.2f %10.2f %10.2f %10.2f\n",
-			k, r.FlushesPerOp(), r.FencesPerOp(), r.CASesPerOp(), r.BoundariesPerOp())
+		fmt.Fprintf(w, "%-24s %10.2f %12.2f %10.2f %10.2f %10.2f %11.2f\n",
+			k, r.FlushesPerOp(), r.EffFlushesPerOp(), r.FencesPerOp(),
+			r.CASesPerOp(), r.BoundariesPerOp(), r.LinesPerDrain())
 	}
 	fmt.Fprintln(w)
 }
@@ -54,16 +56,22 @@ func PrintTable(w io.Writer, title string, results []Result) {
 // JSONResult is the machine-readable form of one measured point (the
 // benchfigs -json output; BENCH_*.json trajectories are built from it).
 type JSONResult struct {
-	Kind            string  `json:"kind"`
-	Family          string  `json:"family,omitempty"`
-	Threads         int     `json:"threads"`
-	Ops             uint64  `json:"ops"`
+	Kind    string `json:"kind"`
+	Family  string `json:"family,omitempty"`
+	Threads int    `json:"threads"`
+	Ops     uint64 `json:"ops"`
+	// FlushesPerOp counts issued flush instructions; EffFlushesPerOp
+	// subtracts the repeats coalesced within a fence epoch (the
+	// write-combining layer) — the line write-backs actually scheduled.
 	ElapsedNs       int64   `json:"elapsed_ns"`
 	MopsPerSec      float64 `json:"mops_per_sec"`
 	FlushesPerOp    float64 `json:"flushes_per_op"`
+	EffFlushesPerOp float64 `json:"eff_flushes_per_op"`
+	CoalescedPerOp  float64 `json:"coalesced_flushes_per_op"`
 	FencesPerOp     float64 `json:"fences_per_op"`
 	CASesPerOp      float64 `json:"cases_per_op"`
 	BoundariesPerOp float64 `json:"boundaries_per_op"`
+	LinesPerDrain   float64 `json:"lines_per_drain"`
 }
 
 // JSONFigure groups the points of one figure.
@@ -94,9 +102,12 @@ func JSONReport(figures []string, results map[string][]Result) ([]byte, error) {
 				ElapsedNs:       r.Elapsed.Nanoseconds(),
 				MopsPerSec:      r.MopsPerSec(),
 				FlushesPerOp:    r.FlushesPerOp(),
+				EffFlushesPerOp: r.EffFlushesPerOp(),
+				CoalescedPerOp:  r.CoalescedPerOp(),
 				FencesPerOp:     r.FencesPerOp(),
 				CASesPerOp:      r.CASesPerOp(),
 				BoundariesPerOp: r.BoundariesPerOp(),
+				LinesPerDrain:   r.LinesPerDrain(),
 			})
 		}
 		report.Figures = append(report.Figures, fig)

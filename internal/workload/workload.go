@@ -117,8 +117,29 @@ func perOp(v, ops uint64) float64 {
 	return float64(v) / float64(ops)
 }
 
-// FlushesPerOp returns flushes per operation.
+// FlushesPerOp returns issued flush instructions per operation.
 func (r Result) FlushesPerOp() float64 { return perOp(r.Stats.Flushes, r.Ops) }
+
+// EffFlushesPerOp returns *effective* flushes per operation: issued
+// flushes minus the repeats the write-combining layer coalesced within
+// a fence epoch. This is the number of line write-backs actually
+// scheduled — the quantity the paper's hand counts correspond to.
+func (r Result) EffFlushesPerOp() float64 { return perOp(r.Stats.EffectiveFlushes(), r.Ops) }
+
+// CoalescedPerOp returns coalesced (free) flushes per operation.
+func (r Result) CoalescedPerOp() float64 { return perOp(r.Stats.CoalescedFlushes, r.Ops) }
+
+// LinesPerDrain returns the mean number of distinct lines persisted
+// per epoch drain. A drain is any completion of a non-empty epoch — a
+// fence, a fencing CAS (the Section 10 elision), or an Auto-mode
+// synthetic fence — so the metric is comparable between the Opt
+// variants (which replace fences with CAS drains) and their bases.
+func (r Result) LinesPerDrain() float64 {
+	if r.Stats.Drains == 0 {
+		return 0
+	}
+	return float64(r.Stats.LinesPersisted) / float64(r.Stats.Drains)
+}
 
 // FencesPerOp returns fences per operation.
 func (r Result) FencesPerOp() float64 { return perOp(r.Stats.Fences, r.Ops) }

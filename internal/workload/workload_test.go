@@ -19,7 +19,8 @@ func fakeResult(kind string, threads int) Result {
 		Threads: threads,
 		Ops:     1000,
 		Elapsed: time.Millisecond,
-		Stats:   pmem.Stats{Flushes: 2000, Fences: 1000, CASes: 3000, Boundaries: 500},
+		Stats: pmem.Stats{Flushes: 2000, CoalescedFlushes: 500, LinesPersisted: 1500,
+			Drains: 1000, Fences: 1000, CASes: 3000, Boundaries: 500},
 	}
 }
 
@@ -156,10 +157,19 @@ func TestResultPerOpMath(t *testing.T) {
 	if got := r.FlushesPerOp(); got != 2.0 {
 		t.Fatalf("flushes/op = %f", got)
 	}
+	if got := r.EffFlushesPerOp(); got != 1.5 {
+		t.Fatalf("eff-flushes/op = %f", got)
+	}
+	if got := r.CoalescedPerOp(); got != 0.5 {
+		t.Fatalf("coalesced/op = %f", got)
+	}
+	if got := r.LinesPerDrain(); got != 1.5 {
+		t.Fatalf("lines/drain = %f", got)
+	}
 	if got := r.CASesPerOp(); got != 3.0 {
 		t.Fatalf("cases/op = %f", got)
 	}
-	if (Result{}).MopsPerSec() != 0 || (Result{}).FlushesPerOp() != 0 {
+	if (Result{}).MopsPerSec() != 0 || (Result{}).FlushesPerOp() != 0 || (Result{}).LinesPerDrain() != 0 {
 		t.Fatal("zero result not zero-safe")
 	}
 }
@@ -174,11 +184,14 @@ func TestJSONReport(t *testing.T) {
 		Figures []struct {
 			Figure  string `json:"figure"`
 			Results []struct {
-				Kind         string  `json:"kind"`
-				Family       string  `json:"family"`
-				Threads      int     `json:"threads"`
-				Mops         float64 `json:"mops_per_sec"`
-				FlushesPerOp float64 `json:"flushes_per_op"`
+				Kind            string  `json:"kind"`
+				Family          string  `json:"family"`
+				Threads         int     `json:"threads"`
+				Mops            float64 `json:"mops_per_sec"`
+				FlushesPerOp    float64 `json:"flushes_per_op"`
+				EffFlushesPerOp float64 `json:"eff_flushes_per_op"`
+				CoalescedPerOp  float64 `json:"coalesced_flushes_per_op"`
+				LinesPerDrain   float64 `json:"lines_per_drain"`
 			} `json:"results"`
 		} `json:"figures"`
 	}
@@ -191,6 +204,9 @@ func TestJSONReport(t *testing.T) {
 	rs := rep.Figures[0].Results
 	if len(rs) != 2 || rs[0].Kind != "fake-a" || rs[0].Family != "fake" || rs[0].FlushesPerOp != 2.0 {
 		t.Fatalf("results: %+v", rs)
+	}
+	if rs[0].EffFlushesPerOp != 1.5 || rs[0].CoalescedPerOp != 0.5 || rs[0].LinesPerDrain != 1.5 {
+		t.Fatalf("issued/effective split missing from JSON: %+v", rs[0])
 	}
 }
 
