@@ -145,6 +145,10 @@ func BenchmarkBoundary(b *testing.B) {
 				},
 			)
 			capsule.Install(rt.Proc(0).Mem(), base, reg, spin, uint64(b.N))
+			// The boundary hot path is allocation-free: the machine reuses
+			// its capsule context, flush scratch and frame state across
+			// boundaries (TestBoundaryHotPathAllocs pins the exact zero).
+			b.ReportAllocs()
 			b.ResetTimer()
 			rt.RunToCompletion(func(int) proc.Program {
 				return func(p *proc.Proc) {

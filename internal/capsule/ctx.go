@@ -14,6 +14,18 @@ type Ctx struct {
 	m        *Machine
 	dirty    uint32
 	terminal bool
+	// effects0 snapshots the port's persistent-effect counter at
+	// capsule entry; the declared read-only check compares against it.
+	effects0 uint64
+	// ro marks the capsule declared read-only (Ctx.ReadOnly): in
+	// checked mode its terminal panics if the capsule issued any
+	// persistent effect.
+	ro bool
+	// committed reports whether the terminal persisted a commit. The
+	// machine clears the crashed flag only on committed terminals: an
+	// elided terminal leaves the restart point behind, so following
+	// capsules may still be repetitions of a crashed span.
+	committed bool
 }
 
 // P returns the executing process.
@@ -65,12 +77,53 @@ func (c *Ctx) checkSlot(s int) {
 	}
 }
 
+// ReadOnly declares the current capsule read-only: it must issue no
+// persistent write, CAS or flush. In checked mode the capsule's
+// terminal panics on a violation; in fast mode the declaration is
+// advisory (the read-only tier's elision guard is enforced by counter
+// comparison either way). Declare probe and pure-read capsules so that
+// an accidentally introduced persistent effect fails crash tests
+// loudly instead of silently demoting the fast lane.
+func (c *Ctx) ReadOnly() { c.ro = true }
+
 func (c *Ctx) beginTerminal() {
 	if c.terminal {
 		panic("capsule: multiple terminal operations in one capsule")
 	}
 	c.terminal = true
+	if c.ro && c.m.checkedMode() && c.m.mem.PersistEffects() != c.effects0 {
+		panic(fmt.Sprintf("capsule: routine %s: persistent effect inside a declared read-only capsule",
+			c.m.routine(c.m.depth).Name))
+	}
+}
+
+// commit records a persisted terminal: the boundary counts as persisted
+// and the effect snapshot restarts the read-only tier's clean span.
+// Must run after the terminal's last persistent write.
+func (c *Ctx) commit() {
+	c.committed = true
 	c.m.mem.Stats.Boundaries++
+	c.m.effectsAt = c.m.mem.PersistEffects()
+}
+
+// elide records a terminal whose persistence was skipped by the
+// read-only tier.
+func (c *Ctx) elide() {
+	c.m.mem.Stats.BoundariesElided++
+}
+
+// commitRestartIfPending swings the persisted restart pointer back to
+// the current depth when elided Returns left it pointing deeper. It
+// must run after the current commit's own fence: the restart pointer
+// may only advance over fully persisted state.
+func (m *Machine) commitRestartIfPending() {
+	if !m.pendingRestart {
+		return
+	}
+	m.mem.Write(restartAddr(m.base), uint64(m.depth))
+	m.mem.Flush(restartAddr(m.base))
+	m.mem.Fence()
+	m.pendingRestart = false
 }
 
 // writeDirty writes the dirty slots of the current frame into the copy
@@ -101,8 +154,48 @@ func (c *Ctx) writeDirty(fr pmem.Addr, placeMask uint32) []pmem.Addr {
 // single-fence protocol (Section 9/10 optimization).
 func (c *Ctx) Boundary(nextPC int) {
 	c.beginTerminal()
+	c.persistBoundary(nextPC)
+}
+
+// BoundaryRO is the read-only tier's boundary: when the machine has
+// issued no persistent write, successful CAS or flush since the last
+// *persisted* commit, the restart point advances volatilely — no frame
+// write, no flush, no fence — and the dirty locals carry into the next
+// capsule's terminal. A crash then resumes from the last persisted
+// boundary and re-runs the elided span, which is sound exactly because
+// the span performed only reads: re-running it is externally invisible,
+// and the operation linearizes at its re-execution. When the span is
+// not clean, BoundaryRO persists like Boundary.
+//
+// The caller's obligation is that every capsule between the last
+// persisted boundary and the next persisted commit tolerates
+// re-execution from the top (pure reads trivially do; effectful
+// successors must be idempotent, like pmap's blind value writes).
+// Capsules downstream of an elided boundary must NOT rely on
+// recoverable-CAS repetition detection: CheckRecovery needs the exact
+// persisted descriptor and sequence number of the interrupted attempt,
+// which an elided boundary does not keep (see DESIGN.md, "Where
+// elision is impermissible").
+func (c *Ctx) BoundaryRO(nextPC int) {
+	c.beginTerminal()
+	m := c.m
+	if m.clean() {
+		c.elide()
+		m.carryDirty |= c.dirty
+		m.pc[m.depth] = nextPC
+		return
+	}
+	c.persistBoundary(nextPC)
+}
+
+// persistBoundary runs the persisted boundary protocol for the current
+// frame flavour and commits.
+func (c *Ctx) persistBoundary(nextPC int) {
 	m := c.m
 	d := m.depth
+	if m.roCall[d] {
+		panic("capsule: persisted boundary inside a read-only call")
+	}
 	fr := frameAddr(m.base, d)
 	if m.routine(d).Compact {
 		c.compactBoundary(fr, nextPC)
@@ -125,6 +218,8 @@ func (c *Ctx) Boundary(nextPC int) {
 	m.mem.Fence()
 	m.mask[d] = newMask
 	m.pc[d] = nextPC
+	m.commitRestartIfPending()
+	c.commit()
 }
 
 // compactBoundary writes all locals plus the control word into the next
@@ -149,6 +244,8 @@ func (c *Ctx) compactBoundary(fr pmem.Addr, nextPC int) {
 	m.mem.Fence()
 	m.epoch[d] = e
 	m.pc[d] = nextPC
+	m.commitRestartIfPending()
+	c.commit()
 }
 
 // Call ends the capsule by invoking routine rid at its capsule `entry`
@@ -166,12 +263,23 @@ func (c *Ctx) Call(rid RoutineID, entry, contPC int, args []uint64, retSlots []i
 	if m.routine(d).Compact {
 		panic("capsule: Call from a compact routine is not supported")
 	}
+	if m.roCall[d] {
+		panic("capsule: Call inside a read-only call")
+	}
 	if d+1 >= MaxDepth {
 		panic("capsule: call depth exceeded")
 	}
 	if len(retSlots) > MaxRet {
 		panic("capsule: too many return slots")
 	}
+	// Elided Returns may have left the persisted restart pointer naming
+	// a deeper frame — the very frame this call is about to
+	// reinitialize. Swing it back to the current depth first, or a
+	// crash during the frame init below would resume a half-written
+	// callee. Resuming at the current depth replays the caller's last
+	// persisted boundary, which re-runs the (read-only) elided span up
+	// to this Call.
+	m.commitRestartIfPending()
 	fr := frameAddr(m.base, d)
 
 	// Pending mask: flip every slot that receives a new value between
@@ -251,6 +359,59 @@ func (c *Ctx) Call(rid RoutineID, entry, contPC int, args []uint64, retSlots []i
 		m.vol[d+1][1+k] = a
 	}
 	m.volOK[d+1] = true
+	c.commit()
+}
+
+// CallRO is the read-only tier's call: a fully volatile invocation for
+// declared read-only callees (probe helpers). Nothing is persisted —
+// no callee frame, no pending word, no restart swing — so a crash
+// anywhere inside the callee resumes the *caller's* last persisted
+// boundary and re-runs the whole span, which is sound exactly because
+// the span is read-only. Every capsule of the callee is implicitly
+// declared read-only: persisted boundaries inside it panic, and in
+// checked mode so does any persistent effect at its Return. The callee
+// routine needs no changes — its Return/Done delivers volatilely.
+func (c *Ctx) CallRO(rid RoutineID, entry, contPC int, args []uint64, retSlots []int) {
+	c.beginTerminal()
+	m := c.m
+	d := m.depth
+	if d+1 >= MaxDepth {
+		panic("capsule: call depth exceeded")
+	}
+	if len(retSlots) > MaxRet {
+		panic("capsule: too many return slots")
+	}
+	for _, s := range retSlots {
+		c.checkSlot(s)
+	}
+	callee := m.reg.Routine(rid)
+	maxArgs := MaxSlots
+	if callee.Compact {
+		maxArgs = MaxCompactSlots
+	}
+	if len(args) >= maxArgs {
+		panic("capsule: too many args for callee")
+	}
+	c.elide()
+	m.roCall[d+1] = true
+	m.roCont[d+1] = contPC
+	m.roRetN[d+1] = len(retSlots)
+	for k, s := range retSlots {
+		m.roRetSlots[d+1][k] = s
+	}
+	m.roCallerDirty[d+1] = c.dirty
+	seq := m.vol[d][SeqSlot]
+	m.depth = d + 1
+	m.rid[d+1] = rid
+	m.pc[d+1] = entry
+	for s := range m.vol[d+1] {
+		m.vol[d+1][s] = 0
+	}
+	m.vol[d+1][SeqSlot] = seq
+	for k, a := range args {
+		m.vol[d+1][1+k] = a
+	}
+	m.volOK[d+1] = true
 }
 
 // Return ends the capsule and the current routine, delivering vals into
@@ -266,19 +427,110 @@ func (c *Ctx) Return(vals ...uint64) {
 	if d == 0 {
 		panic("capsule: Return at depth 0; use Finish")
 	}
+	if m.roCall[d] {
+		c.returnVolatile(vals)
+		return
+	}
+	c.persistReturn(vals)
+}
+
+// ReturnRO is the read-only tier's Return: when the callee span since
+// the Call's commit is clean (no persistent write, successful CAS or
+// flush), the return is delivered volatilely — the caller's pending
+// commit, the two Return fences and the restart swing are all elided,
+// and the returned values plus the threaded sequence number ride the
+// caller's dirty set to its next persisted boundary, which also swings
+// the restart pointer back. A crash before that boundary resumes the
+// *callee* at its entry; the callee re-runs (pure reads) and returns
+// fresh values, and the caller's continuation repeats — so the caller
+// continuation up to its first persisted commit must itself be
+// repetition-safe (the probe-helper pattern: deliver, account in
+// locals, Boundary). When the span is not clean, ReturnRO commits like
+// Return.
+func (c *Ctx) ReturnRO(vals ...uint64) {
+	c.beginTerminal()
+	m := c.m
+	d := m.depth
+	if d == 0 {
+		panic("capsule: Return at depth 0; use Finish")
+	}
+	if m.roCall[d] {
+		c.returnVolatile(vals)
+		return
+	}
+	if !m.clean() {
+		c.persistReturn(vals)
+		return
+	}
+	c.elide()
+	fr1 := frameAddr(m.base, d-1)
+	var rs [MaxRet]int
+	contPC, pmask, n := unpackPendingTo(m.mem.Read(fr1+framePendingOff), &rs)
+	if len(vals) != n {
+		panic(fmt.Sprintf("capsule: Return with %d values, caller expects %d", len(vals), n))
+	}
+	seq := m.vol[d][SeqSlot]
+	if !m.volOK[d-1] {
+		m.loadFrameMidCall(d-1, contPC, pmask)
+	}
+	m.depth = d - 1
+	for k := 0; k < n; k++ {
+		m.vol[d-1][rs[k]] = vals[k]
+		m.carryDirty |= 1 << rs[k]
+	}
+	m.vol[d-1][SeqSlot] = seq
+	m.carryDirty |= 1 << SeqSlot
+	m.pc[d-1] = contPC
+	// The persisted restart pointer still names the callee frame; the
+	// caller's next persisted commit swings it back.
+	m.pendingRestart = true
+}
+
+// returnVolatile delivers a CallRO callee's return: everything is
+// volatile, bookkept by the machine rather than the pending word.
+func (c *Ctx) returnVolatile(vals []uint64) {
+	m := c.m
+	d := m.depth
+	if m.checkedMode() && !m.clean() {
+		panic("capsule: persistent effect inside a read-only call")
+	}
+	n := m.roRetN[d]
+	if len(vals) != n {
+		panic(fmt.Sprintf("capsule: Return with %d values, caller expects %d", len(vals), n))
+	}
+	c.elide()
+	seq := m.vol[d][SeqSlot]
+	dirty := m.roCallerDirty[d]
+	m.roCall[d] = false
+	m.depth = d - 1
+	for k := 0; k < n; k++ {
+		s := m.roRetSlots[d][k]
+		m.vol[d-1][s] = vals[k]
+		dirty |= 1 << s
+	}
+	m.vol[d-1][SeqSlot] = seq
+	m.carryDirty |= dirty | 1<<SeqSlot
+	m.pc[d-1] = m.roCont[d]
+}
+
+// persistReturn runs the full Return commit protocol.
+func (c *Ctx) persistReturn(vals []uint64) {
+	m := c.m
+	d := m.depth
 	if m.mem.HasUnfencedFlush() {
 		// The caller's control word below commits this routine's
 		// completion; the routine's unfenced flushes must land first.
 		m.mem.Fence()
 	}
 	fr1 := frameAddr(m.base, d-1)
-	contPC, pmask, retSlots := unpackPending(m.mem.Read(fr1 + framePendingOff))
-	if len(vals) != len(retSlots) {
-		panic(fmt.Sprintf("capsule: Return with %d values, caller expects %d", len(vals), len(retSlots)))
+	var rs [MaxRet]int
+	contPC, pmask, n := unpackPendingTo(m.mem.Read(fr1+framePendingOff), &rs)
+	if len(vals) != n {
+		panic(fmt.Sprintf("capsule: Return with %d values, caller expects %d", len(vals), n))
 	}
 	addrs := m.flushBuf[:0]
-	for k, s := range retSlots {
-		a := slotAddr(fr1, s, pmask>>s&1)
+	for k := 0; k < n; k++ {
+		a := slotAddr(fr1, rs[k], pmask>>rs[k]&1)
 		m.mem.Write(a, vals[k])
 		addrs = append(addrs, a)
 	}
@@ -298,11 +550,12 @@ func (c *Ctx) Return(vals ...uint64) {
 	m.mem.Write(restartAddr(m.base), uint64(d-1))
 	m.mem.Flush(restartAddr(m.base))
 	m.mem.Fence()
+	m.pendingRestart = false
 
 	m.depth = d - 1
 	if m.volOK[d-1] {
-		for k, s := range retSlots {
-			m.vol[d-1][s] = vals[k]
+		for k := 0; k < n; k++ {
+			m.vol[d-1][rs[k]] = vals[k]
 		}
 		m.vol[d-1][SeqSlot] = seq
 		m.pc[d-1] = contPC
@@ -310,6 +563,7 @@ func (c *Ctx) Return(vals ...uint64) {
 	} else {
 		m.loadFrame(d - 1)
 	}
+	c.commit()
 }
 
 // Done completes the current routine regardless of depth: Return when
@@ -321,6 +575,19 @@ func (c *Ctx) Done(vals ...uint64) {
 		c.Finish(vals...)
 	} else {
 		c.Return(vals...)
+	}
+}
+
+// DoneRO is Done on the read-only tier: ReturnRO when nested (the
+// return commit is elided if the operation performed only reads),
+// Finish at depth 0. Use it on completion paths that are read-only by
+// construction — pure lookups, empty-result probes — and whose
+// re-execution after a crash is a fresh, equally valid linearization.
+func (c *Ctx) DoneRO(vals ...uint64) {
+	if c.m.depth == 0 {
+		c.Finish(vals...)
+	} else {
+		c.ReturnRO(vals...)
 	}
 }
 
@@ -340,6 +607,17 @@ func (c *Ctx) Finish(vals ...uint64) {
 			panic("capsule: multiple terminal operations in one capsule")
 		}
 		c.terminal = true
+		if c.ro && m.checkedMode() && m.mem.PersistEffects() != c.effects0 {
+			panic(fmt.Sprintf("capsule: routine %s: persistent effect inside a declared read-only capsule",
+				m.routine(m.depth).Name))
+		}
+		// A light completion is volatile by the Invoke methodology, not a
+		// read-only-tier elision: it counts in neither boundary stat (as
+		// before the read-only tier existed), so elided/op measures only
+		// genuine fast-lane terminals. It still counts as a committed
+		// terminal for the crashed flag, keeping the pre-existing
+		// benchmark-only crash semantics.
+		c.committed = true
 		m.carryDirty |= c.dirty
 		m.finished = true
 		m.finishedLight = true

@@ -94,12 +94,19 @@ func packPending(pc int, mask uint32, retSlots []int) uint64 {
 }
 
 func unpackPending(w uint64) (pc int, mask uint32, retSlots []int) {
+	var buf [MaxRet]int
+	pc, mask, n := unpackPendingTo(w, &buf)
+	return pc, mask, append([]int(nil), buf[:n]...)
+}
+
+// unpackPendingTo is the allocation-free unpack used on the Return hot
+// path: the return slots land in buf, n of them valid.
+func unpackPendingTo(w uint64, buf *[MaxRet]int) (pc int, mask uint32, n int) {
 	pc = int(w >> 24 & 0xFFF)
 	mask = uint32(w & 0xFFFFFF)
-	n := int(w >> 36 & 0x7)
-	retSlots = make([]int, n)
+	n = int(w >> 36 & 0x7)
 	for k := 0; k < n; k++ {
-		retSlots[k] = int(w >> (39 + 5*k) & 0x1F)
+		buf[k] = int(w >> (39 + 5*k) & 0x1F)
 	}
 	return
 }

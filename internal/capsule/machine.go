@@ -94,6 +94,39 @@ type Machine struct {
 	// current terminal operation, handed to Port.FlushAddrs; the
 	// write-combining layer coalesces the same-line repeats.
 	flushBuf []pmem.Addr
+
+	// ctx is the reusable capsule context: handing capsules a pointer
+	// into the (already heap-allocated) machine instead of a fresh
+	// stack Ctx keeps the boundary hot path at zero allocations per
+	// operation — &Ctx{} passed to an unknown capsule function would
+	// escape and cost one allocation per capsule.
+	ctx Ctx
+
+	// Read-only tier state (volatile, rebuilt on reload).
+	//
+	// effectsAt snapshots the port's persistent-effect counter at the
+	// last *persisted* commit (boundary, call, return, finish, or
+	// reload). A terminal's RO variant elides its persistence exactly
+	// when the counter has not moved since: the machine gave the memory
+	// nothing to persist, so a crash replaying from the last persisted
+	// boundary re-runs only reads — externally invisible.
+	effectsAt uint64
+	// pendingRestart records that one or more Return commits were
+	// elided: the persisted restart pointer still names a deeper frame.
+	// The next persisted commit at the current depth swings it back
+	// (after its own commit fence), and Call restores it before
+	// initializing a callee frame the stale pointer would alias.
+	pendingRestart bool
+	// roCall marks frames created by CallRO: fully volatile callees
+	// (no persistent frame, no pending word). Their return delivery and
+	// continuation bookkeeping live in the machine, and any attempt to
+	// persist state at such a depth panics — a read-only callee must
+	// stay read-only.
+	roCall        [MaxDepth]bool
+	roCont        [MaxDepth]int
+	roRetN        [MaxDepth]int
+	roRetSlots    [MaxDepth][MaxRet]int
+	roCallerDirty [MaxDepth]uint32
 }
 
 // NewMachine creates a machine for process p whose capsule area starts
@@ -101,8 +134,19 @@ type Machine struct {
 // (re)entry of the process program; its volatile state is rebuilt from
 // persistent memory.
 func NewMachine(p *proc.Proc, reg *Registry, base pmem.Addr) *Machine {
-	return &Machine{p: p, mem: p.Mem(), reg: reg, base: base}
+	m := &Machine{p: p, mem: p.Mem(), reg: reg, base: base}
+	m.effectsAt = m.mem.PersistEffects()
+	return m
 }
+
+// clean reports whether the port has issued no persistent effect
+// (write, successful CAS, issued flush) since the last persisted
+// commit — the eligibility test of the read-only tier.
+func (m *Machine) clean() bool { return m.mem.PersistEffects() == m.effectsAt }
+
+// checkedMode reports whether the underlying memory validates crash
+// semantics (the mode in which read-only violations panic).
+func (m *Machine) checkedMode() bool { return m.mem.Memory().Config().Checked }
 
 // Install initializes the persistent capsule area so that the process
 // will begin executing routine rid with the given arguments (placed in
@@ -186,13 +230,19 @@ func (m *Machine) Run() []uint64 {
 		if pc < 0 || pc >= len(r.Caps) {
 			panic(fmt.Sprintf("capsule: routine %s pc %d out of range", r.Name, pc))
 		}
-		ctx := Ctx{m: m, dirty: m.carryDirty}
+		ctx := &m.ctx
+		*ctx = Ctx{m: m, dirty: m.carryDirty, effects0: m.mem.PersistEffects()}
 		m.carryDirty = 0
-		r.Caps[pc](&ctx)
+		r.Caps[pc](ctx)
 		if !ctx.terminal {
 			panic(fmt.Sprintf("capsule: routine %s pc %d returned without a terminal op", r.Name, pc))
 		}
-		m.crashedCap = false
+		if ctx.committed {
+			// An elided terminal keeps the crashed flag: the restart
+			// point has not advanced, so the capsules that follow may
+			// still be repetitions of a crashed span.
+			m.crashedCap = false
+		}
 	}
 }
 
@@ -202,7 +252,10 @@ func (m *Machine) Run() []uint64 {
 func (m *Machine) reload() {
 	for i := range m.volOK {
 		m.volOK[i] = false
+		m.roCall[i] = false
 	}
+	m.pendingRestart = false
+	m.effectsAt = m.mem.PersistEffects()
 	m.depth = int(m.mem.Read(restartAddr(m.base)))
 	if m.depth < 0 || m.depth >= MaxDepth {
 		panic(fmt.Sprintf("capsule: corrupt restart depth %d", m.depth))
@@ -243,6 +296,25 @@ func (m *Machine) loadFrame(d int) {
 			m.vol[d][s] = m.mem.Read(slotAddr(fr, s, mask>>s&1))
 		}
 	}
+	m.volOK[d] = true
+}
+
+// loadFrameMidCall reconstructs the volatile cache of a caller frame
+// whose callee is returning through an elided (read-only) Return: the
+// pending-word commit never happened, so slot validity follows the
+// *pending* mask — the Call persisted the caller's dirty slots into the
+// pending copies, and the return slots plus the sequence number are
+// overwritten by the elided delivery immediately after this load.
+// Callers with an in-flight Call are always full-frame (Call from a
+// compact routine is unsupported).
+func (m *Machine) loadFrameMidCall(d, contPC int, pmask uint32) {
+	fr := frameAddr(m.base, d)
+	m.rid[d] = RoutineID(m.mem.Read(fr + frameHdrOff))
+	m.mask[d] = pmask
+	for s := 0; s < MaxSlots; s++ {
+		m.vol[d][s] = m.mem.Read(slotAddr(fr, s, pmask>>s&1))
+	}
+	m.pc[d] = contPC
 	m.volOK[d] = true
 }
 
@@ -313,6 +385,17 @@ func (m *Machine) Invoke(rid RoutineID, entry int, args ...uint64) []uint64 {
 	m.pc[0] = entry
 	m.light = true
 	m.finishedLight = false
+	// Restart the read-only tier's clean span at the op boundary: the
+	// previous operation's effects belong to *it*, not to this one, so
+	// they must not demote this operation's read-only capsules. This is
+	// sound under Invoke's crash semantics: an elided first boundary
+	// means a crash resumes the *previous* operation's last persisted
+	// capsule (whose repetition light Invoke already requires to be
+	// idempotent — it is how an interrupted op is finished on re-entry)
+	// and this operation is lost as if never invoked, which the light
+	// reset's contract declares indistinguishable from crashing just
+	// before Invoke.
+	m.effectsAt = m.mem.PersistEffects()
 	m.runToCompletion()
 	m.light = false
 	return m.rets
@@ -328,13 +411,16 @@ func (m *Machine) runToCompletion() {
 			break
 		}
 		r := m.reg.Routine(m.rid[d])
-		ctx := Ctx{m: m, dirty: m.carryDirty}
+		ctx := &m.ctx
+		*ctx = Ctx{m: m, dirty: m.carryDirty, effects0: m.mem.PersistEffects()}
 		m.carryDirty = 0
-		r.Caps[m.pc[d]](&ctx)
+		r.Caps[m.pc[d]](ctx)
 		if !ctx.terminal {
 			panic("capsule: routine " + r.Name + " returned without a terminal op")
 		}
-		m.crashedCap = false
+		if ctx.committed {
+			m.crashedCap = false
+		}
 	}
 }
 

@@ -90,10 +90,24 @@ func TestPersistenceCostOrdering(t *testing.T) {
 		}
 	}
 	for _, k := range []string{KindPmap, KindPStack, KindPStackOpt} {
-		if res[k].FlushesPerOp() <= 0 || res[k].BoundariesPerOp() <= 0 {
-			t.Fatalf("%s persistence costs missing: %f flushes/op, %f boundaries/op",
-				k, res[k].FlushesPerOp(), res[k].BoundariesPerOp())
+		if res[k].FlushesPerOp() <= 0 {
+			t.Fatalf("%s persistence costs missing: %f flushes/op", k, res[k].FlushesPerOp())
 		}
+	}
+	// The stack's generator boundaries always persist (the generators
+	// write node state ahead of their recoverable CAS). The map's probe
+	// boundaries ride the read-only tier against a pre-filled table —
+	// no claims, so every probe elides — and its write capsules complete
+	// lightly under Invoke, so pmap shows elided terminals instead of
+	// persisted ones while still paying the durability flushes above.
+	for _, k := range []string{KindPStack, KindPStackOpt} {
+		if res[k].BoundariesPerOp() <= 0 {
+			t.Fatalf("%s boundaries/op = %f", k, res[k].BoundariesPerOp())
+		}
+	}
+	if res[KindPmap].ElidedBoundariesPerOp() <= 0 {
+		t.Fatalf("pmap elided/op = %f, want > 0 (probes ride the read-only tier)",
+			res[KindPmap].ElidedBoundariesPerOp())
 	}
 	// Within a variant, manual flush placement beats the Izraelevitz
 	// construction's flush-every-access (the Figure 5 vs Figure 6
@@ -283,6 +297,65 @@ func TestMapReadMixShapesCost(t *testing.T) {
 	}
 	if r.FlushesPerOp() >= w.FlushesPerOp() {
 		t.Fatalf("read-heavy %f flushes/op >= write-heavy %f", r.FlushesPerOp(), w.FlushesPerOp())
+	}
+}
+
+// TestReadHeavySweepShape pins the readheavy figure's expected shape
+// in the light-Invoke benchmark: persistence costs (eff-flushes,
+// CASes) fall strictly as the read fraction rises (Gets are
+// persistence-free), elided terminals track the write fraction (each
+// effectful op's probe rides the read-only tier; a pure Get — one
+// capsule completing volatilely — counts in neither boundary column),
+// persisted boundaries are zero against a pre-filled table (probes
+// never claim, completions are light), and the write-only point r0
+// measures exactly what the plain pmap kind measures at read-pct 0.
+func TestReadHeavySweepShape(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Threads = 1
+	run := func(kind string) workload.Result {
+		r, err := Run(kind, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r0, r90, r99 := run("pmap-r0"), run("pmap-r90"), run("pmap-r99")
+	if !(r99.EffFlushesPerOp() < r90.EffFlushesPerOp() && r90.EffFlushesPerOp() < r0.EffFlushesPerOp()) {
+		t.Fatalf("eff-flushes/op not strictly falling with read pct: r0=%.3f r90=%.3f r99=%.3f",
+			r0.EffFlushesPerOp(), r90.EffFlushesPerOp(), r99.EffFlushesPerOp())
+	}
+	if !(r99.CASesPerOp() < r90.CASesPerOp() && r90.CASesPerOp() < r0.CASesPerOp()) {
+		t.Fatalf("CASes/op not strictly falling: r0=%.3f r90=%.3f r99=%.3f",
+			r0.CASesPerOp(), r90.CASesPerOp(), r99.CASesPerOp())
+	}
+	if !(r99.ElidedBoundariesPerOp() < r90.ElidedBoundariesPerOp() &&
+		r90.ElidedBoundariesPerOp() < r0.ElidedBoundariesPerOp()) {
+		t.Fatalf("elided/op not tracking the write fraction: r0=%.3f r90=%.3f r99=%.3f",
+			r0.ElidedBoundariesPerOp(), r90.ElidedBoundariesPerOp(), r99.ElidedBoundariesPerOp())
+	}
+	for _, r := range []workload.Result{r0, r90, r99} {
+		if r.BoundariesPerOp() != 0 {
+			t.Fatalf("%s: bound/op %.3f, want 0 (no claims against a pre-filled table; completions are light)",
+				r.Kind, r.BoundariesPerOp())
+		}
+	}
+	// Get is persistence-free, so at r99 the residual persisted work
+	// comes from the 1% writes alone: well under a tenth of r0's.
+	if r99.EffFlushesPerOp() > r0.EffFlushesPerOp()/10 {
+		t.Fatalf("r99 eff-flushes/op %.3f not <= r0/10 (%.3f)",
+			r99.EffFlushesPerOp(), r0.EffFlushesPerOp()/10)
+	}
+	// The pinned r0 kind must measure the same thing as the plain kind
+	// at read-pct 0 — the fast lane changes nothing on write-only runs.
+	plain := cfg
+	plain.Params = cfg.Params.Set("read-pct", 0)
+	p0, err := Run(KindPmap, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r0.BoundariesPerOp() != p0.BoundariesPerOp() || r0.EffFlushesPerOp() != p0.EffFlushesPerOp() {
+		t.Fatalf("pmap-r0 (%.3f bound/op, %.3f eff-flush/op) != pmap at read-pct 0 (%.3f, %.3f)",
+			r0.BoundariesPerOp(), r0.EffFlushesPerOp(), p0.BoundariesPerOp(), p0.EffFlushesPerOp())
 	}
 }
 

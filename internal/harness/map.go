@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
@@ -43,6 +44,35 @@ func init() {
 		})
 	}
 	workload.RegisterFigure("map", KindMapVolatile, KindPmap, KindPmapSharded)
+
+	// The readheavy figure sweeps the read mix: each kind pins read-pct
+	// to one point of {0, 50, 90, 99}, so one benchfigs invocation
+	// measures the whole Get-fraction curve for both recoverable map
+	// kinds. It is the read-only fast lane's acceptance figure: Get is
+	// persistence-free (zero flushes, fences, CASes and boundaries), so
+	// throughput rises and eff-flushes/op falls monotonically with the
+	// read fraction. The write-only point (r0) improves too — write-op
+	// *probes* ride the same fast lane (volatile wcas key reads, elided
+	// probe boundaries until the first claim) while every durability
+	// point of the write itself is unchanged.
+	readheavy := make([]string, 0, 8)
+	for _, rp := range []int{0, 50, 90, 99} {
+		for _, base := range []string{KindPmap, KindPmapSharded} {
+			kind := fmt.Sprintf("%s-r%d", base, rp)
+			readheavy = append(readheavy, kind)
+			workload.RegisterBencher(workload.Bencher{
+				Kind:   kind,
+				Family: "map",
+				Run: func(cfg Config) Result {
+					cfg.Params = cfg.Params.Set("read-pct", int64(rp))
+					r := runMapKind(base, cfg)
+					r.Kind = kind
+					return r
+				},
+			})
+		}
+	}
+	workload.RegisterFigure("readheavy", readheavy...)
 }
 
 // runMapKind dispatches one of the map kinds.

@@ -58,6 +58,38 @@ func TestCrashStressPrivate(t *testing.T) {
 	}
 }
 
+// TestCrashStressReadHeavy is the read-only fast lane's exactness
+// acceptance: 90%-Get scripts in the shared-cache model, so nearly
+// every capsule terminal rides the elided tier (volatile restart-point
+// advance, flush-free wcas reads) while full-system crashes land all
+// over the elided spans. The recovered map must still match the shadow
+// model exactly — elision must never lose, duplicate or corrupt the
+// effectful minority.
+func TestCrashStressReadHeavy(t *testing.T) {
+	crashes := 600
+	if testing.Short() {
+		crashes = 100
+	}
+	rep, err := CrashStress(StressConfig{
+		P:          4,
+		Shards:     2,
+		Buckets:    256,
+		OpsPerProc: 500,
+		Crashes:    crashes,
+		Seed:       11,
+		Shared:     true,
+		Opt:        true,
+		ReadPct:    90,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Crashes < uint64(crashes) {
+		t.Fatalf("only %d crashes injected", rep.Crashes)
+	}
+	t.Logf("crashes=%d restarts=%d ops=%d", rep.Crashes, rep.Restarts, rep.Ops)
+}
+
 // TestCrashStressOddGeometry covers process counts and capacities whose
 // writable-CAS regions are not cache-line aligned (the P=3 layout that
 // once lost its init image at the first crash).

@@ -29,18 +29,25 @@ type Op struct {
 }
 
 // Script builds process pid's deterministic operation sequence over its
-// private keys: 50% puts (uniquely tagged values), 25% deletes, 25%
-// gets. Determinism matters twice — a restarted process regenerates the
+// private keys: readPct percent Gets, the rest puts (uniquely tagged
+// values) and deletes in a 2:1 ratio. readPct 25 reproduces the
+// historical 50/25/25 mix exactly (same RNG draws, same mapping).
+// Determinism matters twice — a restarted process regenerates the
 // identical script, and the shadow model replays it.
-func Script(pid, n int, keys []uint64, seed int64) []Op {
+func Script(pid, n int, keys []uint64, seed int64, readPct int) []Op {
+	if readPct < 0 || readPct > 100 {
+		panic(fmt.Sprintf("pmap: readPct %d out of range", readPct))
+	}
+	writes := 100 - readPct
+	putHi := writes * 2 / 3
 	rng := rand.New(rand.NewSource(seed))
 	ops := make([]Op, n)
 	for i := range ops {
 		k := keys[rng.Intn(len(keys))]
 		switch r := rng.Intn(100); {
-		case r < 50:
+		case r < putHi:
 			ops[i] = Op{OpPut, k, uint64(pid)<<40 | uint64(i)}
-		case r < 75:
+		case r < writes:
 			ops[i] = Op{OpDelete, k, 0}
 		default:
 			ops[i] = Op{OpGet, k, 0}
@@ -126,6 +133,13 @@ type StressConfig struct {
 	// crashes. Zero means "derived from the geometry": the minimum must
 	// exceed the cost of a recovery pass or the run would livelock.
 	MinGap, MaxGap int64
+	// ReadPct is the scripts' Get percentage; 0 selects the historical
+	// default mix (25% gets, with puts and deletes 2:1 in the rest),
+	// and a negative value selects a genuinely write-only (0% Get)
+	// script. Read-heavy rounds (90) exercise the capsule read-only
+	// tier — elided boundaries and flush-free wcas reads — under
+	// full-system crashes.
+	ReadPct int
 }
 
 // StressReport summarizes a CrashStress run.
@@ -176,13 +190,20 @@ func CrashStress(cfg StressConfig) (StressReport, error) {
 	m.Init(setup, nil)
 	m.Bind(rt)
 
+	readPct := cfg.ReadPct
+	switch {
+	case readPct < 0:
+		readPct = 0
+	case readPct == 0:
+		readPct = 25
+	}
 	scripts := make([][]Op, cfg.P)
 	for pid := 0; pid < cfg.P; pid++ {
 		keys := make([]uint64, cfg.KeysPerProc)
 		for j := range keys {
 			keys[j] = uint64(pid)<<32 | uint64(j+1)
 		}
-		scripts[pid] = Script(pid, cfg.OpsPerProc, keys, cfg.Seed+int64(pid)*7919)
+		scripts[pid] = Script(pid, cfg.OpsPerProc, keys, cfg.Seed+int64(pid)*7919, readPct)
 	}
 
 	reg := capsule.NewRegistry()
@@ -290,34 +311,42 @@ func init() {
 	// the map family generically. The generic StressConfig carries the
 	// common knobs; the stress geometry (shards, buckets, keys) is the
 	// same one internal/pmap/crash_test.go exercises, and zero fields
-	// select the family defaults.
-	workload.RegisterStresser(workload.Stresser{
-		Name:   "pmap",
-		Family: "map",
-		Run: func(cfg workload.StressConfig) (workload.StressReport, error) {
-			sc := StressConfig{
-				P:          cfg.Procs,
-				Shards:     2,
-				Buckets:    256,
-				OpsPerProc: cfg.Ops,
-				Crashes:    cfg.Crashes,
-				Seed:       cfg.Seed,
-				Shared:     cfg.Shared,
-				Opt:        cfg.Shared,
-				MinGap:     cfg.MinGap,
-				MaxGap:     cfg.MaxGap,
-			}
-			if sc.P <= 0 {
-				sc.P = 4
-			}
-			if sc.OpsPerProc == 0 {
-				sc.OpsPerProc = 300
-			}
-			if sc.Crashes == 0 {
-				sc.Crashes = 250
-			}
-			rep, err := CrashStress(sc)
-			return workload.StressReport(rep), err
-		},
-	})
+	// select the family defaults. The readheavy variant runs the same
+	// exactness check over 90%-Get scripts, so the read-only fast lane
+	// (elided boundaries, flush-free wcas reads) absorbs the bulk of
+	// the injected crashes.
+	register := func(name string, readPct int) {
+		workload.RegisterStresser(workload.Stresser{
+			Name:   name,
+			Family: "map",
+			Run: func(cfg workload.StressConfig) (workload.StressReport, error) {
+				sc := StressConfig{
+					P:          cfg.Procs,
+					Shards:     2,
+					Buckets:    256,
+					OpsPerProc: cfg.Ops,
+					Crashes:    cfg.Crashes,
+					Seed:       cfg.Seed,
+					Shared:     cfg.Shared,
+					Opt:        cfg.Shared,
+					MinGap:     cfg.MinGap,
+					MaxGap:     cfg.MaxGap,
+					ReadPct:    readPct,
+				}
+				if sc.P <= 0 {
+					sc.P = 4
+				}
+				if sc.OpsPerProc == 0 {
+					sc.OpsPerProc = 300
+				}
+				if sc.Crashes == 0 {
+					sc.Crashes = 250
+				}
+				rep, err := CrashStress(sc)
+				return workload.StressReport(rep), err
+			},
+		})
+	}
+	register("pmap", 0)
+	register("pmap-readheavy", 90)
 }

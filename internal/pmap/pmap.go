@@ -281,13 +281,21 @@ func (m *Map) locate(k uint64) (int, uint32) {
 // find probes segment si for key k from its home bucket. With claim
 // set it claims the first empty bucket for k. Safe to repeat after a
 // crash: keys are monotone, so a landed claim is found by the re-probe.
+//
+// Probe reads use wcas.ReadVolatile — no announcement CAS, no
+// link-and-persist flush — which is sound for key cells because they
+// are monotone (EMPTY → k, never swung by a Write): the volatile read
+// either sees the claim or predates it, and either outcome is a state
+// the probe could have observed under the announced protocol. A probe
+// that claims nothing is therefore entirely persistence-free, which is
+// what lets the probe capsules ride the capsule read-only tier.
 func (m *Map) find(pid int, k uint64, claim bool) (si int, bucket uint32, ok bool) {
 	si, start := m.locate(k)
 	sg := m.segs[si]
 	h := m.hs[pid][si]
 	for i := uint32(0); i < sg.buckets; i++ {
 		b := (start + i) & sg.mask
-		kw := h.Read(keyObj(b))
+		kw := h.ReadVolatile(keyObj(b))
 		if kw == k {
 			return si, b, true
 		}
@@ -300,7 +308,7 @@ func (m *Map) find(pid int, k uint64, claim bool) (si int, bucket uint32, ok boo
 			}
 			// Lost the claim race; if the winner inserted our key we
 			// share the bucket, otherwise keep probing past it.
-			if h.Read(keyObj(b)) == k {
+			if h.ReadVolatile(keyObj(b)) == k {
 				return si, b, true
 			}
 		}
@@ -311,33 +319,49 @@ func (m *Map) find(pid int, k uint64, claim bool) (si int, bucket uint32, ok boo
 func packLoc(si int, b uint32) uint64  { return uint64(si)<<32 | uint64(b) }
 func unpackLoc(w uint64) (int, uint32) { return int(w >> 32), uint32(w) }
 
+// getCap is the fully read-only lookup: volatile probe, volatile value
+// resolution, and an elided completion — zero flushes, fences, CASes
+// and persisted boundaries per Get. A crash anywhere inside it (or
+// before the caller's next persisted commit) erases every trace of the
+// lookup, and its re-execution is a fresh, equally valid
+// linearization; see the wcas.ReadVolatile invariant for why the value
+// may be acted on only volatilely.
 func (m *Map) getCap(c *capsule.Ctx) {
+	c.ReadOnly()
 	k := c.Local(sKey)
 	checkKV(k, 0)
 	pid := c.P().ID()
 	si, b, ok := m.find(pid, k, false)
 	if !ok {
-		c.Done(0, 0)
+		c.DoneRO(0, 0)
 		return
 	}
-	v := m.hs[pid][si].Read(valObj(b))
+	v := m.hs[pid][si].ReadVolatile(valObj(b))
 	if v == 0 {
-		c.Done(0, 0)
+		c.DoneRO(0, 0)
 		return
 	}
-	c.Done(1, v-1)
+	c.DoneRO(1, v-1)
 }
 
+// putProbe (and the other probe capsules below) ride the read-only
+// tier until the first claim: BoundaryRO elides the boundary persist
+// when the probe found an existing bucket (pure reads — a crash re-runs
+// the probe against monotone key cells and resolves the same bucket,
+// then repeats the idempotent blind write), and persists exactly like
+// Boundary when the probe claimed (the claim CAS is a persistent
+// effect, and the resolved location must survive a crash once the
+// claim can).
 func (m *Map) putProbe(c *capsule.Ctx) {
 	k := c.Local(sKey)
 	checkKV(k, c.Local(sVal))
 	si, b, ok := m.find(c.P().ID(), k, true)
 	if !ok {
-		c.Done(0) // table full
+		c.Done(0) // table full (may follow a claim attempt; persist)
 		return
 	}
 	c.SetLocal(sLoc, packLoc(si, b))
-	c.Boundary(pcPutWrite)
+	c.BoundaryRO(pcPutWrite)
 }
 
 func (m *Map) putWrite(c *capsule.Ctx) {
@@ -347,15 +371,16 @@ func (m *Map) putWrite(c *capsule.Ctx) {
 }
 
 func (m *Map) delProbe(c *capsule.Ctx) {
+	c.ReadOnly()
 	k := c.Local(sKey)
 	checkKV(k, 0)
 	si, b, ok := m.find(c.P().ID(), k, false)
 	if !ok {
-		c.Done(0)
+		c.DoneRO(0) // absent: the whole Delete was a pure read
 		return
 	}
 	c.SetLocal(sLoc, packLoc(si, b))
-	c.Boundary(pcDelWrite)
+	c.BoundaryRO(pcDelWrite)
 }
 
 func (m *Map) delWrite(c *capsule.Ctx) {
@@ -365,6 +390,7 @@ func (m *Map) delWrite(c *capsule.Ctx) {
 }
 
 func (m *Map) casProbe(c *capsule.Ctx) {
+	c.ReadOnly()
 	k := c.Local(sKey)
 	checkKV(k, c.Local(sNew))
 	// The expected value is +1-encoded too: 2^64-1 would wrap to the
@@ -372,11 +398,11 @@ func (m *Map) casProbe(c *capsule.Ctx) {
 	checkKV(k, c.Local(sVal))
 	si, b, ok := m.find(c.P().ID(), k, false)
 	if !ok {
-		c.Done(0)
+		c.DoneRO(0) // absent: the whole Cas was a pure read
 		return
 	}
 	c.SetLocal(sLoc, packLoc(si, b))
-	c.Boundary(pcCasExec)
+	c.BoundaryRO(pcCasExec)
 }
 
 func (m *Map) casExec(c *capsule.Ctx) {

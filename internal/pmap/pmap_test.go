@@ -200,7 +200,7 @@ func TestConcurrentDriversCrashFree(t *testing.T) {
 		for j := range ks {
 			ks[j] = uint64(pid)<<32 | uint64(j+1)
 		}
-		scripts[pid] = Script(pid, ops, ks, int64(pid)+1)
+		scripts[pid] = Script(pid, ops, ks, int64(pid)+1, 25)
 		Apply(model, scripts[pid])
 	}
 	reg := capsule.NewRegistry()
@@ -306,6 +306,50 @@ func TestGeometryRounding(t *testing.T) {
 // written word, and the same-line repeats coalesce — so effective
 // flushes per Put are strictly below issued flushes, where before the
 // layer the two were equal by definition.
+// TestGetPersistenceFree pins the read-only fast lane's acceptance
+// property end-to-end: a Get — probe, value resolution and completion
+// included — issues zero writes, CASes, flushes, fences and persisted
+// boundaries, in both frame flavours and in the durable shared-model
+// configuration the benchmarks run. Every Get terminal is elided.
+func TestGetPersistenceFree(t *testing.T) {
+	for _, opt := range []bool{false, true} {
+		mem := pmem.New(pmem.Config{
+			Words: Words(64, 1, 1) + capsule.ProcWords + 1<<13,
+			Mode:  pmem.Shared,
+		})
+		rt, m, ms := fixture(t, Config{Mem: mem, P: 1, Buckets: 64, Opt: opt, Durable: true},
+			map[uint64]uint64{7: 700, 8: 800})
+		mc := ms[0]
+		// Warm up: one hit and one miss, then measure a steady-state batch.
+		get(mc, m, 7)
+		get(mc, m, 9999)
+		port := rt.Proc(0).Mem()
+		before := port.Stats
+		const N = 100
+		for i := 0; i < N; i++ {
+			if v, ok := get(mc, m, 7+uint64(i%2)); !ok || v != 700+100*uint64(i%2) {
+				t.Fatalf("opt=%v get: %d %v", opt, v, ok)
+			}
+			get(mc, m, 9999) // miss: full probe to an empty bucket
+		}
+		st := port.Stats
+		if st.Writes != before.Writes || st.CASes != before.CASes ||
+			st.Flushes != before.Flushes || st.Fences != before.Fences ||
+			st.Boundaries != before.Boundaries {
+			t.Fatalf("opt=%v: Get issued persistence work: before %+v after %+v", opt, before, st)
+		}
+		// Under a light Invoke a Get is one capsule ending in a volatile
+		// completion, which counts in neither boundary stat — a benched
+		// Get is invisible to the persistence accounting entirely. (In
+		// the Call-driven crash-stress shape the same Get ends in an
+		// elided ReturnRO, which does count as elided.)
+		if st.BoundariesElided != before.BoundariesElided {
+			t.Fatalf("opt=%v: light Gets counted %d elided terminals, want 0",
+				opt, st.BoundariesElided-before.BoundariesElided)
+		}
+	}
+}
+
 func TestPutCoalescesFlushes(t *testing.T) {
 	rt, m, ms := fixture(t, Config{P: 1, Buckets: 128, Opt: false, Durable: true}, nil)
 	mc := ms[0]

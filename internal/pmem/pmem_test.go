@@ -253,11 +253,61 @@ func TestDirtyLines(t *testing.T) {
 }
 
 func TestStatsAdd(t *testing.T) {
-	a := Stats{Reads: 1, Writes: 2, CASes: 3, Flushes: 4, Fences: 5, Boundaries: 6, Steps: 7}
+	a := Stats{Reads: 1, Writes: 2, CASes: 3, Flushes: 4, Fences: 5, Boundaries: 6, BoundariesElided: 8, Steps: 7}
 	b := a
 	a.Add(b)
-	if a.Reads != 2 || a.Writes != 4 || a.CASes != 6 || a.Flushes != 8 || a.Fences != 10 || a.Boundaries != 12 || a.Steps != 14 {
+	if a.Reads != 2 || a.Writes != 4 || a.CASes != 6 || a.Flushes != 8 || a.Fences != 10 || a.Boundaries != 12 || a.BoundariesElided != 16 || a.Steps != 14 {
 		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+// TestPersistEffects pins the read-only tier's cleanness measure: only
+// writes, successful CASes and issued flushes move the counter; reads,
+// failed CASes and fences leave it alone.
+func TestPersistEffects(t *testing.T) {
+	m := newShared(t, 1<<10)
+	p := m.NewPort()
+	a := m.AllocLines(1)
+	base := p.PersistEffects()
+	p.Read(a)
+	p.Fence()
+	if p.CAS(a, 1, 2) { // cell holds 0: must fail
+		t.Fatal("CAS of wrong expectation succeeded")
+	}
+	if got := p.PersistEffects(); got != base {
+		t.Fatalf("reads/fences/failed CAS moved effects: %d -> %d", base, got)
+	}
+	p.Write(a, 1)
+	if got := p.PersistEffects(); got != base+1 {
+		t.Fatalf("write: effects %d, want %d", got, base+1)
+	}
+	if !p.CAS(a, 1, 2) {
+		t.Fatal("CAS failed")
+	}
+	p.Flush(a)
+	p.Flush(a) // coalesced, but still an issued flush: still an effect
+	if got := p.PersistEffects(); got != base+4 {
+		t.Fatalf("cas+2 flushes: effects %d, want %d", got, base+4)
+	}
+}
+
+// TestPendingSpillMapReused pins the epoch-scratch pooling: once an
+// epoch has spilled past the linear-scan threshold, later spilling
+// epochs reuse the same map instead of reallocating it.
+func TestPendingSpillMapReused(t *testing.T) {
+	m := New(Config{Words: 1 << 16, Mode: Shared})
+	p := m.NewPort()
+	base := m.AllocLines(4 * pendingSpill)
+	spillEpoch := func() {
+		for i := 0; i < 2*pendingSpill; i++ {
+			p.Flush(base + Addr(i)*WordsPerLine)
+		}
+		p.Fence()
+	}
+	spillEpoch() // first spill allocates the map
+	allocs := testing.AllocsPerRun(10, spillEpoch)
+	if allocs != 0 {
+		t.Fatalf("spilling epochs allocate %.1f allocs/epoch after warm-up, want 0", allocs)
 	}
 }
 

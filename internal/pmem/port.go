@@ -29,8 +29,16 @@ type Stats struct {
 	LinesPersisted uint64
 	Drains         uint64
 	Fences         uint64
-	Boundaries     uint64 // capsule boundaries (incremented by the capsule package)
-	Steps          uint64 // total instrumented steps
+	// Boundaries counts *persisted* capsule boundaries: terminal
+	// operations that committed frame state to durable memory
+	// (incremented by the capsule package). BoundariesElided counts the
+	// read-only-tier terminals whose persistence was elided because the
+	// process had no persistent effects to commit — the restart point
+	// advanced volatilely and crash recovery resumes from the last
+	// persisted boundary instead.
+	Boundaries       uint64
+	BoundariesElided uint64
+	Steps            uint64 // total instrumented steps
 }
 
 // Add accumulates other into s.
@@ -44,6 +52,7 @@ func (s *Stats) Add(other Stats) {
 	s.Drains += other.Drains
 	s.Fences += other.Fences
 	s.Boundaries += other.Boundaries
+	s.BoundariesElided += other.BoundariesElided
 	s.Steps += other.Steps
 }
 
@@ -87,14 +96,25 @@ type Port struct {
 	Stats Stats
 	// pending is the set of distinct lines flushed since the last
 	// fence (the current epoch), in every mode. pendingSet mirrors it
-	// for O(1) membership once the epoch spills past pendingSpill.
-	pending    []uint64
-	pendingSet map[uint64]struct{}
+	// for O(1) membership once the epoch spills past pendingSpill;
+	// pendingSpare keeps the spill map allocated across epochs (cleared
+	// on drain, reused on the next spill) so bulk persist phases do not
+	// reallocate it per epoch.
+	pending      []uint64
+	pendingSet   map[uint64]struct{}
+	pendingSpare map[uint64]struct{}
 	// unfenced tracks (in every mode) whether a Flush has been issued
 	// with no Fence/CAS since: commit protocols must fence before a
 	// commit write that could become durable by eviction, or the
 	// commit can outrun the data it covers.
 	unfenced bool
+	// effects counts the persistent effects this port has issued:
+	// writes, successful CASes, and issued flushes. Reads, failed
+	// CASes and fences leave it unchanged. The capsule machinery's
+	// read-only tier compares snapshots of it to decide whether a
+	// boundary may be elided — equality proves the process has given
+	// the memory nothing new to persist since the snapshot.
+	effects uint64
 }
 
 // NewPort creates a process-private access handle.
@@ -127,6 +147,7 @@ func (p *Port) Read(a Addr) uint64 {
 func (p *Port) Write(a Addr, v uint64) {
 	p.step()
 	p.Stats.Writes++
+	p.effects++
 	p.m.store(a, v)
 	if p.Auto {
 		p.flushFence(a)
@@ -151,6 +172,9 @@ func (p *Port) CAS(a Addr, old, new uint64) bool {
 	p.unfenced = false
 	p.drain()
 	ok := p.m.cas(a, old, new)
+	if ok {
+		p.effects++
+	}
 	if p.Auto {
 		p.flushFence(a)
 	}
@@ -166,6 +190,7 @@ func (p *Port) CAS(a Addr, old, new uint64) bool {
 func (p *Port) Flush(a Addr) {
 	p.step()
 	p.Stats.Flushes++
+	p.effects++
 	p.unfenced = true
 	li := lineOf(a)
 	if p.pendingSet == nil {
@@ -177,7 +202,15 @@ func (p *Port) Flush(a Addr) {
 		}
 		p.pending = append(p.pending, li)
 		if len(p.pending) > pendingSpill {
-			p.pendingSet = make(map[uint64]struct{}, 2*len(p.pending))
+			// Spill to a map, reusing the one kept from earlier epochs
+			// (drain clears it back into pendingSpare) so bulk persist
+			// phases allocate the spill map once, not once per epoch.
+			if p.pendingSpare != nil {
+				p.pendingSet = p.pendingSpare
+				p.pendingSpare = nil
+			} else {
+				p.pendingSet = make(map[uint64]struct{}, 2*len(p.pending))
+			}
 			for _, x := range p.pending {
 				p.pendingSet[x] = struct{}{}
 			}
@@ -238,9 +271,18 @@ func (p *Port) drain() {
 		}
 	}
 	p.pending = p.pending[:0]
-	if p.pendingSet != nil {
-		p.pendingSet = nil
+	p.parkPendingSet()
+}
+
+// parkPendingSet clears the spill map (if the epoch used one) and parks
+// it for reuse by a later spill.
+func (p *Port) parkPendingSet() {
+	if p.pendingSet == nil {
+		return
 	}
+	clear(p.pendingSet)
+	p.pendingSpare = p.pendingSet
+	p.pendingSet = nil
 }
 
 // Fence orders and completes all flushes issued by this process since
@@ -267,6 +309,7 @@ func (p *Port) FlushFence(a Addr) {
 func (p *Port) flushFence(a Addr) {
 	p.Stats.Flushes++
 	p.Stats.Fences++
+	p.effects++
 	p.unfenced = false
 	m := p.m
 	checked := m.cfg.Checked && m.cfg.Mode == Shared
@@ -278,7 +321,7 @@ func (p *Port) flushFence(a Addr) {
 			}
 		}
 		p.pending = p.pending[:0]
-		p.pendingSet = nil
+		p.parkPendingSet()
 	}
 	p.Stats.Drains++
 	p.Stats.LinesPersisted++
@@ -297,9 +340,18 @@ func (p *Port) flushFence(a Addr) {
 // line policy.)
 func (p *Port) DropPending() {
 	p.pending = p.pending[:0]
-	p.pendingSet = nil
+	p.parkPendingSet()
 	p.unfenced = false
 }
+
+// PersistEffects returns the monotone count of persistent effects this
+// port has issued: writes, successful CASes, and issued flushes. Two
+// equal snapshots bracket a span in which the process performed only
+// reads, failed CASes and fences — nothing whose durability a crash
+// could lose. The capsule read-only tier elides boundary persistence
+// exactly when the span since the last persisted commit is clean by
+// this measure.
+func (p *Port) PersistEffects() uint64 { return p.effects }
 
 // PendingLines returns the number of distinct lines scheduled for
 // write-back in the current epoch; for tests and debuggers.

@@ -165,7 +165,10 @@ func (g *General) deqReadPhase(c *capsule.Ctx) {
 	nx := g.Space.ReadFull(p, g.Arena.Next(uint32(rcas.Val(h))))
 	if rcas.Val(h) == rcas.Val(t) {
 		if rcas.Val(nx) == 0 {
-			c.Done(0, 0) // empty; linearizes at the read of nx
+			// Empty; linearizes at the read of nx. DoneRO elides the
+			// completion only when the capsule was effect-free (see the
+			// normalized variant for the soundness note).
+			c.DoneRO(0, 0)
 			return
 		}
 		c.SetLocal(gdT, t)

@@ -252,6 +252,43 @@ func (h *Handle) Read(j int) uint64 {
 	return v
 }
 
+// ReadVolatile returns the value of object j through an optimistic
+// tagged double-read: read the ⟨slot, tag⟩ Ptr word, read the slot,
+// and re-read the Ptr word — if it is unchanged, the slot backed
+// object j for the whole interval (the tag increments on every swing,
+// so Ptr-word equality rules out the slot having been recycled and
+// reinstalled in between) and the value read is a linearizable read of
+// j. No announcement, no CAS, no flush, no fence: zero persistent
+// effects, so a capsule performing only ReadVolatiles stays on the
+// read-only fast lane.
+//
+// The flush-free invariant (the Durable-mode caveat): Read's
+// link-and-persist flush exists so that an operation that *durably
+// commits evidence* derived from the resolved value first persists the
+// Ptr link it dereferenced. ReadVolatile skips it, so the value may
+// derive from a swing that is still volatile — a crash can revert it.
+// That is safe exactly for operations that persist no evidence derived
+// from the read before the observed writer's own commit fences: pure
+// lookups whose boundaries ride the capsule read-only tier (a crash
+// erases every trace of the lookup, whose re-execution is a fresh,
+// equally valid linearization), and probe prefixes whose subsequent
+// durable phase depends only on monotone state (pmap's key cells).
+// Operations that persist evidence derived from the value — e.g. a
+// successful conditional update keyed on it — must use Read, whose
+// resolve CAS drains the Ptr flush before the value can be acted on.
+func (h *Handle) ReadVolatile(j int) uint64 {
+	h.checkObj(j)
+	a, p := h.a, h.port
+	pa := a.ptr + pmem.Addr(j)
+	for {
+		pw := p.Read(pa)
+		v := p.Read(a.b + pmem.Addr(ptrSlot(pw)))
+		if p.Read(pa) == pw {
+			return v
+		}
+	}
+}
+
 // CAS performs a compare-and-swap on object j. In Durable mode a
 // successful CAS flushes the slot it wrote; the flush is left unfenced
 // for the caller's commit protocol (a capsule boundary, or any

@@ -87,6 +87,81 @@ func TestWriteMakesSubsequentCASWork(t *testing.T) {
 	}
 }
 
+// TestReadVolatileAgrees pins the flush-free read against the
+// announced protocol across writes, CASes and heavy slot recycling,
+// and pins its cost: zero CASes, writes, flushes and fences — the
+// property the capsule read-only tier depends on.
+func TestReadVolatileAgrees(t *testing.T) {
+	rt, a := newArr(t, 2, 2)
+	a.SetDurable(true)
+	h := a.NewHandle(rt.Proc(0).Mem(), 0)
+	for j := 0; j < 2; j++ {
+		if got := h.ReadVolatile(j); got != uint64(j)*100 {
+			t.Fatalf("object %d: %d", j, got)
+		}
+	}
+	for i := uint64(0); i < 5000; i++ {
+		h.Write(int(i%2), i)
+		if got := h.ReadVolatile(int(i % 2)); got != i {
+			t.Fatalf("iter %d: volatile read %d", i, got)
+		}
+	}
+	if !h.CAS(0, 4998, 777) {
+		t.Fatal("CAS failed")
+	}
+	port := rt.Proc(0).Mem()
+	before := port.Stats
+	effects := port.PersistEffects()
+	if got := h.ReadVolatile(0); got != 777 {
+		t.Fatalf("volatile read after CAS: %d", got)
+	}
+	st := port.Stats
+	if st.CASes != before.CASes || st.Writes != before.Writes ||
+		st.Flushes != before.Flushes || st.Fences != before.Fences {
+		t.Fatalf("ReadVolatile issued persistence work: before %+v after %+v", before, st)
+	}
+	if port.PersistEffects() != effects {
+		t.Fatal("ReadVolatile moved the persistent-effect counter")
+	}
+}
+
+// TestReadVolatileConcurrent races volatile readers against a writer
+// cycling through far more writes than the slot pool: the tagged
+// double-read must never observe a torn or recycled slot — every value
+// read must be one the writer actually wrote to that object.
+func TestReadVolatileConcurrent(t *testing.T) {
+	rt, a := newArr(t, 2, 3)
+	hw := a.NewHandle(rt.Proc(0).Mem(), 0)
+	const N = 20000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 1; r <= 2; r++ {
+		h := a.NewHandle(rt.Proc(r).Mem(), r)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := h.ReadVolatile(0)
+				// Writer writes only tagged values v<<8|1 (or the 0 init).
+				if v != 0 && v&0xFF != 1 {
+					t.Errorf("volatile read observed foreign value %#x", v)
+					return
+				}
+			}
+		}()
+	}
+	for i := uint64(0); i < N; i++ {
+		hw.Write(0, i<<8|1)
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestRecyclingManyWrites(t *testing.T) {
 	// Far more writes than the 2P-slot pool: recycle's announcement
 	// scan must keep the pool alive.

@@ -42,13 +42,13 @@ func PrintTable(w io.Writer, title string, results []Result) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "per-operation costs at %d thread(s)\n", threads[0])
-	fmt.Fprintf(w, "%-24s %10s %12s %10s %10s %10s %11s\n",
-		"kind", "flush/op", "eff-flush/op", "fence/op", "cas/op", "bound/op", "lines/drain")
+	fmt.Fprintf(w, "%-24s %10s %12s %10s %10s %10s %10s %11s\n",
+		"kind", "flush/op", "eff-flush/op", "fence/op", "cas/op", "bound/op", "elided/op", "lines/drain")
 	for _, k := range kinds {
 		r := byKind[k][threads[0]]
-		fmt.Fprintf(w, "%-24s %10.2f %12.2f %10.2f %10.2f %10.2f %11.2f\n",
+		fmt.Fprintf(w, "%-24s %10.2f %12.2f %10.2f %10.2f %10.2f %10.2f %11.2f\n",
 			k, r.FlushesPerOp(), r.EffFlushesPerOp(), r.FencesPerOp(),
-			r.CASesPerOp(), r.BoundariesPerOp(), r.LinesPerDrain())
+			r.CASesPerOp(), r.BoundariesPerOp(), r.ElidedBoundariesPerOp(), r.LinesPerDrain())
 	}
 	fmt.Fprintln(w)
 }
@@ -70,8 +70,12 @@ type JSONResult struct {
 	CoalescedPerOp  float64 `json:"coalesced_flushes_per_op"`
 	FencesPerOp     float64 `json:"fences_per_op"`
 	CASesPerOp      float64 `json:"cases_per_op"`
-	BoundariesPerOp float64 `json:"boundaries_per_op"`
-	LinesPerDrain   float64 `json:"lines_per_drain"`
+	// BoundariesPerOp counts *persisted* capsule boundaries;
+	// ElidedBoundariesPerOp the read-only-tier terminals that advanced
+	// the restart point volatilely (zero persistence cost).
+	BoundariesPerOp       float64 `json:"boundaries_per_op"`
+	ElidedBoundariesPerOp float64 `json:"elided_boundaries_per_op"`
+	LinesPerDrain         float64 `json:"lines_per_drain"`
 }
 
 // JSONFigure groups the points of one figure.
@@ -95,19 +99,20 @@ func JSONReport(figures []string, results map[string][]Result) ([]byte, error) {
 				family = b.Family
 			}
 			fig.Results = append(fig.Results, JSONResult{
-				Kind:            r.Kind,
-				Family:          family,
-				Threads:         r.Threads,
-				Ops:             r.Ops,
-				ElapsedNs:       r.Elapsed.Nanoseconds(),
-				MopsPerSec:      r.MopsPerSec(),
-				FlushesPerOp:    r.FlushesPerOp(),
-				EffFlushesPerOp: r.EffFlushesPerOp(),
-				CoalescedPerOp:  r.CoalescedPerOp(),
-				FencesPerOp:     r.FencesPerOp(),
-				CASesPerOp:      r.CASesPerOp(),
-				BoundariesPerOp: r.BoundariesPerOp(),
-				LinesPerDrain:   r.LinesPerDrain(),
+				Kind:                  r.Kind,
+				Family:                family,
+				Threads:               r.Threads,
+				Ops:                   r.Ops,
+				ElapsedNs:             r.Elapsed.Nanoseconds(),
+				MopsPerSec:            r.MopsPerSec(),
+				FlushesPerOp:          r.FlushesPerOp(),
+				EffFlushesPerOp:       r.EffFlushesPerOp(),
+				CoalescedPerOp:        r.CoalescedPerOp(),
+				FencesPerOp:           r.FencesPerOp(),
+				CASesPerOp:            r.CASesPerOp(),
+				BoundariesPerOp:       r.BoundariesPerOp(),
+				ElidedBoundariesPerOp: r.ElidedBoundariesPerOp(),
+				LinesPerDrain:         r.LinesPerDrain(),
 			})
 		}
 		report.Figures = append(report.Figures, fig)
