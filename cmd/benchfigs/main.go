@@ -63,6 +63,8 @@ func main() {
 			kinds, _ := workload.FigureKinds(name)
 			fmt.Printf("%-10s %v\n", name, kinds)
 		}
+		fmt.Printf("history-audited families (crashstress -audit order): %v\n",
+			workload.AuditedFamilies())
 		return
 	}
 

@@ -31,6 +31,14 @@
 // -workload selects a family (queue, map, stack) or a single stresser
 // by name; "all" runs everything. Exit status is non-zero if any round
 // finds a violation.
+//
+// -audit order additionally records a full operation history per round
+// (invocations, returns, crash markers, per-op flush/fence deltas) and
+// runs the family's durable-linearizability checker plus the
+// detectability cross-check over it; a violating round dumps a
+// machine-readable minimal failing history into -artifact-dir. Every
+// round also prints a stats delta line — the pmem counters the round
+// consumed, normalized per operation.
 package main
 
 import (
@@ -52,17 +60,27 @@ func main() {
 	minGap := flag.Int64("min-gap", 0, "minimum instrumented steps between crashes; 0 derives a livelock-safe gap")
 	maxGap := flag.Int64("max-gap", 0, "maximum instrumented steps between crashes; 0 derives it")
 	list := flag.Bool("list", false, "list registered stressers and exit")
+	audit := flag.String("audit", "", `history audits to run per round: "order" records every operation and checks durable linearizability + detectability; empty disables`)
+	artifactDir := flag.String("artifact-dir", "", "directory for failing-history JSON artifacts (default: OS temp dir)")
 	flag.Parse()
 
 	if *rounds < 0 || *procs < 0 || *ops < 0 || *crashes < 0 || *minGap < 0 || *maxGap < 0 {
 		fmt.Fprintln(os.Stderr, "negative -rounds/-procs/-ops/-crashes/-min-gap/-max-gap")
 		os.Exit(2)
 	}
+	if *audit != "" && *audit != "order" {
+		fmt.Fprintf(os.Stderr, "unknown -audit mode %q (supported: order)\n", *audit)
+		os.Exit(2)
+	}
 
 	stressers := workload.Stressers()
 	if *list {
 		for _, s := range stressers {
-			fmt.Printf("%-16s family=%s\n", s.Name, s.Family)
+			audited := ""
+			if _, ok := workload.LookupHistoryChecker(s.Family); ok {
+				audited = " audit=order"
+			}
+			fmt.Printf("%-16s family=%s%s\n", s.Name, s.Family, audited)
 		}
 		return
 	}
@@ -78,13 +96,15 @@ func main() {
 			for r := 0; r < *rounds; r++ {
 				roundSeed := *seed + int64(r)*7919
 				rep, err := s.Run(workload.StressConfig{
-					Procs:   *procs,
-					Ops:     *ops,
-					Crashes: *crashes,
-					Seed:    roundSeed,
-					Shared:  shared,
-					MinGap:  *minGap,
-					MaxGap:  *maxGap,
+					Procs:       *procs,
+					Ops:         *ops,
+					Crashes:     *crashes,
+					Seed:        roundSeed,
+					Shared:      shared,
+					MinGap:      *minGap,
+					MaxGap:      *maxGap,
+					Audit:       *audit == "order",
+					ArtifactDir: *artifactDir,
 				})
 				if err != nil {
 					failures++
@@ -92,6 +112,13 @@ func main() {
 				} else {
 					fmt.Printf("ok   %-16s shared=%-5v seed=%-8d crashes=%-6d restarts=%-6d ops=%d\n",
 						s.Name, shared, roundSeed, rep.Crashes, rep.Restarts, rep.Ops)
+					// Per-round delta of the pmem counters (each round runs
+					// on a fresh memory, so its Stats are exactly the delta).
+					res := workload.Result{Ops: rep.Ops, Stats: rep.Stats}
+					fmt.Printf("     Δ flush/op=%-5.1f eff=%-5.1f coal=%-5.1f fence/op=%-5.1f cas/op=%-5.1f bound/op=%-4.1f lines/drain=%-5.1f steps=%d\n",
+						res.FlushesPerOp(), res.EffFlushesPerOp(), res.CoalescedPerOp(),
+						res.FencesPerOp(), res.CASesPerOp(), res.BoundariesPerOp(),
+						res.LinesPerDrain(), rep.Stats.Steps)
 				}
 			}
 		}

@@ -1,0 +1,476 @@
+package history
+
+import "fmt"
+
+// The checkers below verify necessary conditions for durable
+// linearizability against each family's sequential specification. They
+// deliberately avoid a full linearizability search: every check is a
+// polynomial-time implication of the criterion, built from strict
+// real-time precedence (OpRecord.Precedes) — so a flagged history is
+// *provably* not durably linearizable, while a passing history is
+// consistent with every check we know how to state cheaply. In-flight
+// operations (invoked, never returned — dropped at a crash) are treated
+// exactly as the criterion demands: their effect may be absent or
+// present, but present at most once.
+
+// Violation is one checker finding. Ops carries the witnesses — the
+// minimal set of operations whose recorded order is contradictory.
+type Violation struct {
+	Spec string     `json:"spec"` // "queue", "stack", "map", "detect", "trace"
+	Code string     `json:"code"` // machine-readable discriminator
+	Msg  string     `json:"msg"`
+	Ops  []OpRecord `json:"ops,omitempty"`
+}
+
+func (v Violation) String() string { return v.Spec + "/" + v.Code + ": " + v.Msg }
+
+func viol(spec, code string, ops []OpRecord, format string, a ...any) Violation {
+	return Violation{Spec: spec, Code: code, Msg: fmt.Sprintf(format, a...), Ops: ops}
+}
+
+// producers/consumers index a history's ops for one pair of op codes
+// (enq/deq or push/pop) by value.
+type pairedOps struct {
+	prod      []*OpRecord            // all invoked producers, invocation order
+	cons      []*OpRecord            // all invoked consumers, invocation order
+	prodByVal map[uint64][]*OpRecord // producers keyed by Arg
+	consByVal map[uint64][]*OpRecord // ok consumers keyed by Res
+	residueIx map[uint64]int         // value -> drain position
+}
+
+func indexPairs(h *History, prodOp, consOp Op) *pairedOps {
+	ix := &pairedOps{
+		prodByVal: make(map[uint64][]*OpRecord),
+		consByVal: make(map[uint64][]*OpRecord),
+		residueIx: make(map[uint64]int, len(h.Final.Residue)),
+	}
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		switch op.Op {
+		case prodOp:
+			ix.prod = append(ix.prod, op)
+			ix.prodByVal[op.Arg] = append(ix.prodByVal[op.Arg], op)
+		case consOp:
+			ix.cons = append(ix.cons, op)
+			if op.Returned && op.Ok {
+				ix.consByVal[op.Res] = append(ix.consByVal[op.Res], op)
+			}
+		}
+	}
+	for i, v := range h.Final.Residue {
+		if _, dup := ix.residueIx[v]; !dup {
+			ix.residueIx[v] = i
+		}
+	}
+	return ix
+}
+
+// conservation runs the spec-independent exactly-once checks shared by
+// the queue and stack: every consumed or surviving value must trace to
+// a producer, a completed producer's value must survive exactly once,
+// and an in-flight producer's value at most once.
+func (ix *pairedOps) conservation(spec string, h *History) []Violation {
+	var vs []Violation
+	for v, prods := range ix.prodByVal {
+		if len(prods) > 1 {
+			vs = append(vs, viol(spec, "dup-produce", derefs(prods),
+				"value %#x produced by %d distinct operations; the stress drivers make values unique", v, len(prods)))
+		}
+	}
+	seenResidue := make(map[uint64]bool, len(h.Final.Residue))
+	for _, v := range h.Final.Residue {
+		if seenResidue[v] {
+			vs = append(vs, viol(spec, "residue-dup", nil,
+				"value %#x present twice in the recovered structure", v))
+			continue
+		}
+		seenResidue[v] = true
+		if len(ix.prodByVal[v]) == 0 {
+			vs = append(vs, viol(spec, "residue-phantom", nil,
+				"recovered structure holds value %#x that no recorded operation produced", v))
+		}
+	}
+	for v, cons := range ix.consByVal {
+		if len(cons) > 1 {
+			vs = append(vs, viol(spec, "dup-delivery", derefs(cons),
+				"value %#x delivered by %d operations; each value may be consumed at most once", v, len(cons)))
+		}
+		if len(ix.prodByVal[v]) == 0 {
+			vs = append(vs, viol(spec, "phantom", derefs(cons),
+				"value %#x consumed but never produced by any recorded operation", v))
+			continue
+		}
+		if _, inResidue := ix.residueIx[v]; inResidue {
+			w := append(derefs(ix.prodByVal[v]), derefs(cons)...)
+			vs = append(vs, viol(spec, "double-effect", w,
+				"value %#x both delivered and still present after recovery: its producer took effect twice", v))
+		}
+	}
+	for v, prods := range ix.prodByVal {
+		p := prods[0]
+		if !p.Returned {
+			continue // in-flight producer: its value may legitimately vanish
+		}
+		_, inResidue := ix.residueIx[v]
+		if !inResidue && len(ix.consByVal[v]) == 0 {
+			vs = append(vs, viol(spec, "lost-value", []OpRecord{*p},
+				"value %#x durably produced (operation returned) but neither delivered nor present after recovery", v))
+		}
+	}
+	return vs
+}
+
+// soleConsumer returns the completed consumer of v when there is
+// exactly one; dup-delivery is reported separately.
+func (ix *pairedOps) soleConsumer(v uint64) *OpRecord {
+	if c := ix.consByVal[v]; len(c) == 1 {
+		return c[0]
+	}
+	return nil
+}
+
+// emptyWitness checks one failed (empty) consume d against the rest of
+// the history: if some producer of v completed strictly before d, the
+// structure cannot have been empty at d's linearization point unless v
+// was already consumed by an operation that does not strictly follow d.
+func (ix *pairedOps) emptyWitness(spec string, d *OpRecord) []Violation {
+	var vs []Violation
+	for v, prods := range ix.prodByVal {
+		p := prods[0]
+		if !p.Precedes(d) {
+			continue
+		}
+		if _, inResidue := ix.residueIx[v]; inResidue {
+			vs = append(vs, viol(spec, "empty-nonempty", []OpRecord{*p, *d},
+				"consume returned empty although value %#x was produced before it and survived to the end", v))
+			continue
+		}
+		cons := ix.consByVal[v]
+		if len(cons) == 0 {
+			continue // consumed by nothing on record: an in-flight consumer may have taken it
+		}
+		excused := false
+		for _, c := range cons {
+			if !d.Precedes(c) {
+				excused = true
+				break
+			}
+		}
+		if !excused {
+			vs = append(vs, viol(spec, "empty-nonempty", []OpRecord{*p, *d, *cons[0]},
+				"consume returned empty although value %#x was produced before it and only consumed after it", v))
+		}
+	}
+	return vs
+}
+
+// CheckQueueFIFO audits h against the FIFO-queue sequential spec under
+// durable linearizability. OpEnq produces Arg; OpDeq consumes, with
+// (Ok, Res) the result; Final.Residue is the recovered queue drained
+// head to tail.
+func CheckQueueFIFO(h *History) []Violation {
+	const spec = "queue"
+	ix := indexPairs(h, OpEnq, OpDeq)
+	vs := ix.conservation(spec, h)
+
+	// FIFO order over completed operations: if e1 really preceded e2,
+	// v1 must leave the queue before v2 in every linearization.
+	for i, e1 := range ix.prod {
+		if !e1.Returned {
+			continue
+		}
+		d1 := ix.soleConsumer(e1.Arg)
+		_, r1 := ix.residueIx[e1.Arg]
+		for j, e2 := range ix.prod {
+			if i == j || !e1.Precedes(e2) {
+				continue
+			}
+			d2 := ix.soleConsumer(e2.Arg)
+			if d1 != nil && d2 != nil && d2.Precedes(d1) {
+				vs = append(vs, viol(spec, "fifo-order", []OpRecord{*e1, *e2, *d2, *d1},
+					"enq(%#x) preceded enq(%#x) but %#x was dequeued strictly after %#x",
+					e1.Arg, e2.Arg, e1.Arg, e2.Arg))
+			}
+			if r1 && d2 != nil {
+				vs = append(vs, viol(spec, "fifo-overtake", []OpRecord{*e1, *e2, *d2},
+					"enq(%#x) preceded enq(%#x), yet %#x was dequeued while %#x survived in the queue",
+					e1.Arg, e2.Arg, e2.Arg, e1.Arg))
+			}
+			if i2, r2 := ix.residueIx[e2.Arg]; r1 && r2 {
+				if i1 := ix.residueIx[e1.Arg]; i1 > i2 {
+					vs = append(vs, viol(spec, "residue-order", []OpRecord{*e1, *e2},
+						"recovered queue orders %#x before %#x although their enqueues completed in the opposite order",
+						e2.Arg, e1.Arg))
+				}
+			}
+		}
+	}
+	for _, d := range ix.cons {
+		if d.Returned && !d.Ok {
+			vs = append(vs, ix.emptyWitness(spec, d)...)
+		}
+	}
+	return vs
+}
+
+// CheckStackLIFO audits h against the LIFO-stack sequential spec under
+// durable linearizability. OpPush produces Arg; OpPop consumes;
+// Final.Residue is the recovered stack drained top to bottom.
+func CheckStackLIFO(h *History) []Violation {
+	const spec = "stack"
+	ix := indexPairs(h, OpPush, OpPop)
+	vs := ix.conservation(spec, h)
+
+	for i, p1 := range ix.prod {
+		if !p1.Returned {
+			continue
+		}
+		pop1 := ix.soleConsumer(p1.Arg)
+		i1, r1 := ix.residueIx[p1.Arg]
+		for j, p2 := range ix.prod {
+			if i == j || !p1.Precedes(p2) {
+				continue
+			}
+			// LIFO order: v2 pushed entirely between push(v1) and
+			// pop(v1) must come back out before v1 does.
+			if pop1 != nil && p2.Precedes(pop1) {
+				pop2 := ix.soleConsumer(p2.Arg)
+				if _, r2 := ix.residueIx[p2.Arg]; r2 {
+					vs = append(vs, viol(spec, "lifo-order", []OpRecord{*p1, *p2, *pop1},
+						"push(%#x) < push(%#x) < pop(%#x), yet %#x survived in the stack instead of popping first",
+						p1.Arg, p2.Arg, p1.Arg, p2.Arg))
+				} else if pop2 != nil && pop1.Precedes(pop2) {
+					vs = append(vs, viol(spec, "lifo-order", []OpRecord{*p1, *p2, *pop1, *pop2},
+						"push(%#x) < push(%#x) < pop(%#x), yet %#x was popped strictly after %#x",
+						p1.Arg, p2.Arg, p1.Arg, p2.Arg, p1.Arg))
+				}
+			}
+			// Residue order: the earlier-pushed survivor must be deeper,
+			// i.e. later in the top-to-bottom drain.
+			if i2, r2 := ix.residueIx[p2.Arg]; r1 && r2 && i1 < i2 {
+				vs = append(vs, viol(spec, "residue-order", []OpRecord{*p1, *p2},
+					"recovered stack holds %#x above %#x although %#x was pushed strictly earlier",
+					p1.Arg, p2.Arg, p1.Arg))
+			}
+		}
+	}
+	for _, d := range ix.cons {
+		if d.Returned && !d.Ok {
+			vs = append(vs, ix.emptyWitness(spec, d)...)
+		}
+	}
+	return vs
+}
+
+// CheckMapLWW audits h against a last-write-wins map. OpPut writes
+// (Arg = key, Arg2 = value), OpDelete removes Arg, OpGet reads Arg with
+// (Ok, Res) the result; Final.Map is the recovered contents. Unlike the
+// queue and stack drivers, map values legitimately repeat across script
+// loops, so every check reasons over the full candidate set of writes
+// that could justify an observation and flags only when all candidates
+// are ruled out.
+func CheckMapLWW(h *History) []Violation {
+	const spec = "map"
+	var vs []Violation
+	type keyOps struct {
+		puts    []*OpRecord // invoked puts, invocation order
+		deletes []*OpRecord
+		gets    []*OpRecord
+		writes  []*OpRecord // puts + deletes
+	}
+	byKey := make(map[uint64]*keyOps)
+	at := func(k uint64) *keyOps {
+		ko := byKey[k]
+		if ko == nil {
+			ko = &keyOps{}
+			byKey[k] = ko
+		}
+		return ko
+	}
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		switch op.Op {
+		case OpPut:
+			ko := at(op.Arg)
+			ko.puts = append(ko.puts, op)
+			ko.writes = append(ko.writes, op)
+		case OpDelete:
+			ko := at(op.Arg)
+			ko.deletes = append(ko.deletes, op)
+			ko.writes = append(ko.writes, op)
+		case OpGet:
+			at(op.Arg).gets = append(at(op.Arg).gets, op)
+		}
+	}
+
+	for key, ko := range byKey {
+		candidates := func(v uint64) []*OpRecord {
+			var c []*OpRecord
+			for _, p := range ko.puts {
+				if p.Arg2 == v {
+					c = append(c, p)
+				}
+			}
+			return c
+		}
+		// Reads.
+		for _, g := range ko.gets {
+			if !g.Returned {
+				continue
+			}
+			if g.Ok {
+				cands := candidates(g.Res)
+				if len(cands) == 0 {
+					vs = append(vs, viol(spec, "read-never-written", []OpRecord{*g},
+						"get(%#x) observed value %#x that no recorded put wrote", key, g.Res))
+					continue
+				}
+				// Stale read: flagged only if every candidate put was
+				// provably overwritten before the get began.
+				stale := true
+				for _, p := range cands {
+					overwritten := false
+					for _, w := range ko.writes {
+						if w != p && w.Returned && p.Precedes(w) && w.Precedes(g) {
+							overwritten = true
+							break
+						}
+					}
+					if !overwritten {
+						stale = false
+						break
+					}
+				}
+				if stale {
+					vs = append(vs, viol(spec, "stale-read", append(derefs(cands), *g),
+						"get(%#x) observed %#x although every put of that value was overwritten before the get began",
+						key, g.Res))
+				}
+			} else {
+				// Empty read: some completed put precedes the get and no
+				// delete could possibly linearize between them.
+				for _, p := range ko.puts {
+					if !p.Precedes(g) {
+						continue
+					}
+					excused := false
+					for _, d := range ko.deletes {
+						if !(d.Returned && d.Precedes(p)) && !g.Precedes(d) {
+							excused = true
+							break
+						}
+					}
+					if !excused {
+						vs = append(vs, viol(spec, "empty-read", []OpRecord{*p, *g},
+							"get(%#x) observed absence although a put completed before it and no delete could intervene", key))
+						break
+					}
+				}
+			}
+		}
+		// Final state.
+		fv, present := h.Final.Map[key]
+		if present {
+			cands := candidates(fv)
+			if len(cands) == 0 {
+				vs = append(vs, viol(spec, "final-phantom", nil,
+					"recovered map holds %#x=%#x that no recorded put wrote", key, fv))
+			} else {
+				stale := true
+				var ruledOutBy *OpRecord
+				for _, p := range cands {
+					overwritten := false
+					for _, w := range ko.writes {
+						if w != p && w.Returned && p.Precedes(w) {
+							overwritten, ruledOutBy = true, w
+							break
+						}
+					}
+					if !overwritten {
+						stale = false
+						break
+					}
+				}
+				if stale {
+					w := append(derefs(cands), *ruledOutBy)
+					vs = append(vs, viol(spec, "final-stale", w,
+						"recovered map holds %#x=%#x although every put of that value was durably overwritten", key, fv))
+				}
+			}
+		} else {
+			// Lost key: a completed put that every delete provably
+			// preceded leaves the key present at the end.
+			for _, p := range ko.puts {
+				if !p.Returned {
+					continue
+				}
+				excused := false
+				for _, d := range ko.deletes {
+					if !(d.Returned && d.Precedes(p)) {
+						excused = true
+						break
+					}
+				}
+				if !excused {
+					vs = append(vs, viol(spec, "final-lost", []OpRecord{*p},
+						"recovered map lost key %#x although a put completed after every recorded delete", key))
+					break
+				}
+			}
+		}
+	}
+	return vs
+}
+
+// CheckDetectability cross-checks the capsule restart pointer's per-op
+// verdict against the trace. completed[p] is process p's durably
+// committed operation count recovered from its driver frame: operation
+// IDs below it are detectably completed, IDs at or above it are
+// detectably not. The trace must agree: a returned op must be counted,
+// a counted op must have been announced and (at quiescence) returned.
+// An announced-but-unreturned op at or above the watermark is the
+// legitimate dropped-in-flight case and passes.
+func CheckDetectability(h *History, completed []uint64) []Violation {
+	const spec = "detect"
+	var vs []Violation
+	if len(completed) < h.Procs {
+		return []Violation{viol(spec, "missing-verdicts", nil,
+			"history covers %d processes but only %d detectability verdicts were supplied", h.Procs, len(completed))}
+	}
+	announced := make([]map[uint64]bool, h.Procs)
+	for i := range announced {
+		announced[i] = make(map[uint64]bool)
+	}
+	for i := range h.Ops {
+		op := &h.Ops[i]
+		p := int(op.Proc)
+		announced[p][op.ID] = true
+		if op.Returned && op.ID >= completed[p] {
+			vs = append(vs, viol(spec, "completed-but-denied", []OpRecord{*op},
+				"proc %d op %v id=%d returned in the trace but the restart pointer reports only %d ops committed",
+				p, op.Op, op.ID, completed[p]))
+		}
+		if !op.Returned && op.ID < completed[p] {
+			vs = append(vs, viol(spec, "unreturned-completed", []OpRecord{*op},
+				"proc %d op %v id=%d is committed per the restart pointer but never returned in the trace",
+				p, op.Op, op.ID))
+		}
+	}
+	for p := 0; p < h.Procs; p++ {
+		for id := uint64(0); id < completed[p]; id++ {
+			if !announced[p][id] {
+				vs = append(vs, viol(spec, "untraced-op", nil,
+					"proc %d id=%d is committed per the restart pointer but was never announced in the trace", p, id))
+			}
+		}
+	}
+	return vs
+}
+
+func derefs(ops []*OpRecord) []OpRecord {
+	out := make([]OpRecord, len(ops))
+	for i, op := range ops {
+		out[i] = *op
+	}
+	return out
+}

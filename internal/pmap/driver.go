@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"delayfree/internal/capsule"
+	"delayfree/internal/history"
 	"delayfree/internal/pmem"
 	"delayfree/internal/proc"
 	"delayfree/internal/workload"
@@ -76,6 +77,18 @@ const (
 	drvVal = 3
 )
 
+// histOp maps a scripted kind to its history op code.
+func histOp(k OpKind) history.Op {
+	switch k {
+	case OpPut:
+		return history.OpPut
+	case OpDelete:
+		return history.OpDelete
+	default:
+		return history.OpGet
+	}
+}
+
 // RegisterScriptDriver registers a depth-0 routine that executes
 // scripts[pid] one operation per Call, persisting the script index at
 // each boundary so a crashed process resumes exactly where it stopped.
@@ -87,7 +100,13 @@ const (
 // may be read at different times by a repeated dispatch capsule; that
 // is safe because the exactness check depends only on the *persisted*
 // final index, never on when the driver decided to stop.
-func RegisterScriptDriver(reg *capsule.Registry, m *Map, scripts [][]Op, keepGoing func() bool) capsule.RoutineID {
+//
+// With rec non-nil every operation is announced before dispatch and its
+// result recorded after the Call commits, keyed by the global script
+// index i (unique per op even when the script loops). A capsule
+// repetition re-records the same (op, i), which the history merge
+// collapses into one conservative interval.
+func RegisterScriptDriver(reg *capsule.Registry, m *Map, scripts [][]Op, keepGoing func() bool, rec *history.Recorder) capsule.RoutineID {
 	return reg.Register("pmap-script-driver", false,
 		func(c *capsule.Ctx) { // pc0: dispatch the next operation
 			sc := scripts[c.P().ID()]
@@ -97,6 +116,7 @@ func RegisterScriptDriver(reg *capsule.Registry, m *Map, scripts [][]Op, keepGoi
 				return
 			}
 			op := sc[i%uint64(len(sc))]
+			rec.Invoke(c.P().ID(), histOp(op.Kind), i, op.Key, op.Val, c.Mem().Stats)
 			switch op.Kind {
 			case OpPut:
 				c.Call(m.Routine(), m.PutEntry(), 1, []uint64{op.Key, op.Val}, []int{drvOK})
@@ -106,7 +126,17 @@ func RegisterScriptDriver(reg *capsule.Registry, m *Map, scripts [][]Op, keepGoi
 				c.Call(m.Routine(), m.GetEntry(), 1, []uint64{op.Key}, []int{drvOK, drvVal})
 			}
 		},
-		func(c *capsule.Ctx) { // pc1: advance the script index
+		func(c *capsule.Ctx) { // pc1: record the result, advance the index
+			if rec.Enabled() {
+				sc := scripts[c.P().ID()]
+				i := c.Local(drvIdx)
+				op := sc[i%uint64(len(sc))]
+				var res uint64
+				if op.Kind == OpGet {
+					res = c.Local(drvVal) // drvVal is only written by Gets
+				}
+				rec.Return(c.P().ID(), histOp(op.Kind), i, c.Local(drvOK) != 0, res, c.Mem().Stats)
+			}
 			c.SetLocal(drvIdx, c.Local(drvIdx)+1)
 			c.Boundary(0)
 		},
@@ -140,13 +170,22 @@ type StressConfig struct {
 	// tier — elided boundaries and flush-free wcas reads — under
 	// full-system crashes.
 	ReadPct int
+	// Audit records a full operation history and runs the map family's
+	// durable-linearizability checker plus the detectability cross-check
+	// after the round; violations fail the round and dump an artifact
+	// under ArtifactDir (empty = OS temp dir).
+	Audit       bool
+	ArtifactDir string
+	// Stresser labels the audit artifact; empty defaults to "pmap".
+	Stresser string
 }
 
 // StressReport summarizes a CrashStress run.
 type StressReport struct {
-	Crashes  uint64 // full-system crashes completed
-	Restarts uint64 // process restarts summed over processes
-	Ops      uint64 // scripted operations executed (exactly once each)
+	Crashes  uint64     // full-system crashes completed
+	Restarts uint64     // process restarts summed over processes
+	Ops      uint64     // scripted operations executed (exactly once each)
+	Stats    pmem.Stats // summed per-process memory counters
 }
 
 // CrashStress runs the map's crash-injection exactness check: P
@@ -206,11 +245,21 @@ func CrashStress(cfg StressConfig) (StressReport, error) {
 		scripts[pid] = Script(pid, cfg.OpsPerProc, keys, cfg.Seed+int64(pid)*7919, readPct)
 	}
 
+	// Audit support: the recorder lives in host memory (it survives
+	// simulated crashes — it is the ground truth the durable state is
+	// checked against), and the runtime's stopped-world crash hook
+	// places the global crash markers.
+	var rec *history.Recorder
+	if cfg.Audit {
+		rec = history.NewRecorder(cfg.P, history.StressCapacity(cfg.OpsPerProc, cfg.Crashes))
+		rt.OnSystemCrash = func(uint64) { rec.Crash() }
+	}
+
 	reg := capsule.NewRegistry()
 	m.Register(reg)
 	drv := RegisterScriptDriver(reg, m, scripts, func() bool {
 		return rt.SystemCrashes() < uint64(cfg.Crashes)
-	})
+	}, rec)
 	bases := capsule.AllocProcAreas(mem, cfg.P)
 	for i := 0; i < cfg.P; i++ {
 		capsule.Install(rt.Proc(i).Mem(), bases[i], reg, drv)
@@ -254,6 +303,7 @@ func CrashStress(cfg StressConfig) (StressReport, error) {
 	rt.RunToCompletion(func(i int) proc.Program {
 		return func(p *proc.Proc) {
 			if p.Crashed() {
+				rec.Restart(i)
 				recoverPools(p)
 			}
 			capsule.NewMachine(p, reg, bases[i]).Run()
@@ -267,10 +317,31 @@ func CrashStress(cfg StressConfig) (StressReport, error) {
 	// therefore checks the *durable* state.
 	rt.CrashSystem()
 
-	report := StressReport{Crashes: rt.SystemCrashes()}
+	report := StressReport{Crashes: rt.SystemCrashes(), Stats: rt.TotalStats()}
 	for i := 0; i < cfg.P; i++ {
 		report.Restarts += rt.Proc(i).Restarts()
 	}
+
+	// Ordering audit first, before the conservation checks below: when a
+	// round is broken the failing-history artifact must be written even
+	// if the legacy checks would reject the round on their own.
+	if rec != nil {
+		completed := make([]uint64, cfg.P)
+		for i := 0; i < cfg.P; i++ {
+			completed[i] = capsule.NewMachine(rt.Proc(i), reg, bases[i]).Detect(drvIdx).Completed
+		}
+		h := rec.History()
+		h.Final.Map = m.Dump(setup)
+		name := cfg.Stresser
+		if name == "" {
+			name = "pmap"
+		}
+		meta := history.RunMeta{Stresser: name, Family: "map", Seed: cfg.Seed, Shared: cfg.Shared, Procs: cfg.P}
+		if err := workload.Audit(meta, cfg.ArtifactDir, h, completed, report.Stats); err != nil {
+			return report, err
+		}
+	}
+
 	if report.Crashes < uint64(cfg.Crashes) {
 		return report, fmt.Errorf("only %d full-system crashes completed, want %d", report.Crashes, cfg.Crashes)
 	}
@@ -321,17 +392,20 @@ func init() {
 			Family: "map",
 			Run: func(cfg workload.StressConfig) (workload.StressReport, error) {
 				sc := StressConfig{
-					P:          cfg.Procs,
-					Shards:     2,
-					Buckets:    256,
-					OpsPerProc: cfg.Ops,
-					Crashes:    cfg.Crashes,
-					Seed:       cfg.Seed,
-					Shared:     cfg.Shared,
-					Opt:        cfg.Shared,
-					MinGap:     cfg.MinGap,
-					MaxGap:     cfg.MaxGap,
-					ReadPct:    readPct,
+					P:           cfg.Procs,
+					Shards:      2,
+					Buckets:     256,
+					OpsPerProc:  cfg.Ops,
+					Crashes:     cfg.Crashes,
+					Seed:        cfg.Seed,
+					Shared:      cfg.Shared,
+					Opt:         cfg.Shared,
+					MinGap:      cfg.MinGap,
+					MaxGap:      cfg.MaxGap,
+					ReadPct:     readPct,
+					Audit:       cfg.Audit,
+					ArtifactDir: cfg.ArtifactDir,
+					Stresser:    name,
 				}
 				if sc.P <= 0 {
 					sc.P = 4
@@ -349,4 +423,8 @@ func init() {
 	}
 	register("pmap", 0)
 	register("pmap-readheavy", 90)
+	workload.RegisterHistoryChecker(workload.HistoryChecker{
+		Family: "map",
+		Check:  history.CheckMapLWW,
+	})
 }

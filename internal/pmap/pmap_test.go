@@ -205,7 +205,7 @@ func TestConcurrentDriversCrashFree(t *testing.T) {
 	}
 	reg := capsule.NewRegistry()
 	m.Register(reg)
-	drv := RegisterScriptDriver(reg, m, scripts, nil)
+	drv := RegisterScriptDriver(reg, m, scripts, nil, nil)
 	bases := capsule.AllocProcAreas(mem, P)
 	for i := 0; i < P; i++ {
 		capsule.Install(rt.Proc(i).Mem(), bases[i], reg, drv)

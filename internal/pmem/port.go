@@ -56,6 +56,26 @@ func (s *Stats) Add(other Stats) {
 	s.Steps += other.Steps
 }
 
+// Sub returns the counter-wise difference s - other. All counters are
+// monotone, so subtracting an earlier snapshot of the same port yields
+// the activity in between — the delta a stress round or a single
+// recorded operation cost.
+func (s Stats) Sub(other Stats) Stats {
+	return Stats{
+		Reads:            s.Reads - other.Reads,
+		Writes:           s.Writes - other.Writes,
+		CASes:            s.CASes - other.CASes,
+		Flushes:          s.Flushes - other.Flushes,
+		CoalescedFlushes: s.CoalescedFlushes - other.CoalescedFlushes,
+		LinesPersisted:   s.LinesPersisted - other.LinesPersisted,
+		Drains:           s.Drains - other.Drains,
+		Fences:           s.Fences - other.Fences,
+		Boundaries:       s.Boundaries - other.Boundaries,
+		BoundariesElided: s.BoundariesElided - other.BoundariesElided,
+		Steps:            s.Steps - other.Steps,
+	}
+}
+
 // EffectiveFlushes returns the number of line write-backs actually
 // scheduled: issued flushes minus the coalesced repeats.
 func (s Stats) EffectiveFlushes() uint64 { return s.Flushes - s.CoalescedFlushes }

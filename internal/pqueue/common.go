@@ -27,6 +27,7 @@ package pqueue
 
 import (
 	"delayfree/internal/capsule"
+	"delayfree/internal/history"
 	"delayfree/internal/pmem"
 	"delayfree/internal/proc"
 	"delayfree/internal/qnode"
@@ -241,7 +242,7 @@ const (
 // values pid<<40|counter. Install it with args = (pairs). The returned
 // id is the routine to install.
 func RegisterPairsDriver(reg *capsule.Registry, q Queue) capsule.RoutineID {
-	return registerPairsDriver(reg, q, 0, nil)
+	return registerPairsDriver(reg, q, 0, nil, nil)
 }
 
 // RegisterQuotaPairsDriver is RegisterPairsDriver with the crash-stress
@@ -252,11 +253,17 @@ func RegisterPairsDriver(reg *capsule.Registry, q Queue) capsule.RoutineID {
 // met. keepGoing may be read at different times by a repeated dispatch
 // capsule; that is safe because the exactness check depends only on the
 // *persisted* counter, never on when the driver decided to stop.
-func RegisterQuotaPairsDriver(reg *capsule.Registry, q Queue, pairs uint64, keepGoing func() bool) capsule.RoutineID {
-	return registerPairsDriver(reg, q, pairs, keepGoing)
+//
+// With rec non-nil every operation is announced and its completion
+// recorded, keyed by the pair counter (so enqueue k and the dequeue of
+// the same pair share ID k). A capsule repetition re-records the same
+// (op, id); the history merge collapses the repeats into one
+// conservative interval.
+func RegisterQuotaPairsDriver(reg *capsule.Registry, q Queue, pairs uint64, keepGoing func() bool, rec *history.Recorder) capsule.RoutineID {
+	return registerPairsDriver(reg, q, pairs, keepGoing, rec)
 }
 
-func registerPairsDriver(reg *capsule.Registry, q Queue, pairs uint64, keepGoing func() bool) capsule.RoutineID {
+func registerPairsDriver(reg *capsule.Registry, q Queue, pairs uint64, keepGoing func() bool, rec *history.Recorder) capsule.RoutineID {
 	return reg.Register("pairs-driver", false,
 		func(c *capsule.Ctx) { // pc0: enqueue, refill the batch, or finish
 			if c.Local(drvRemaining) == 0 {
@@ -266,14 +273,23 @@ func registerPairsDriver(reg *capsule.Registry, q Queue, pairs uint64, keepGoing
 				}
 				c.SetLocal(drvRemaining, pairs)
 			}
-			v := uint64(c.P().ID())<<40 | c.Local(drvCounter)
-			c.SetLocal(drvCounter, c.Local(drvCounter)+1)
+			id := c.Local(drvCounter)
+			v := uint64(c.P().ID())<<40 | id
+			c.SetLocal(drvCounter, id+1)
+			rec.Invoke(c.P().ID(), history.OpEnq, id, v, 0, c.Mem().Stats)
 			c.Call(q.EnqRoutine(), q.EnqEntry(), 1, []uint64{v}, nil)
 		},
-		func(c *capsule.Ctx) { // pc1: dequeue
+		func(c *capsule.Ctx) { // pc1: enqueue committed; dequeue
+			if rec.Enabled() {
+				id := c.Local(drvCounter) - 1
+				rec.Return(c.P().ID(), history.OpEnq, id, true, 0, c.Mem().Stats)
+				rec.Invoke(c.P().ID(), history.OpDeq, id, 0, 0, c.Mem().Stats)
+			}
 			c.Call(q.DeqRoutine(), q.DeqEntry(), 2, nil, []int{drvDeqOK, drvDeqVal})
 		},
 		func(c *capsule.Ctx) { // pc2: account and loop
+			rec.Return(c.P().ID(), history.OpDeq, c.Local(drvCounter)-1,
+				c.Local(drvDeqOK) != 0, c.Local(drvDeqVal), c.Mem().Stats)
 			c.SetLocal(drvRemaining, c.Local(drvRemaining)-1)
 			c.SetLocal(drvSink, c.Local(drvSink)+c.Local(drvDeqVal))
 			c.Boundary(0)

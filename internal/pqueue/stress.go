@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"delayfree/internal/capsule"
+	"delayfree/internal/history"
 	"delayfree/internal/pmem"
 	"delayfree/internal/proc"
 	"delayfree/internal/qnode"
@@ -27,8 +28,11 @@ import (
 
 // CrashStress runs one crash-injection exactness round for the variant
 // built by mk (zero cfg fields select the family defaults; Crashes = 0
-// means no quota, a single batch of pairs).
-func CrashStress(mk func(Config) Queue, cfg workload.StressConfig) (workload.StressReport, error) {
+// means no quota, a single batch of pairs). name labels the round in
+// audit artifacts; with cfg.Audit set the round also records a full
+// operation history and runs the queue family's durable-linearizability
+// checker plus the detectability cross-check.
+func CrashStress(name string, mk func(Config) Queue, cfg workload.StressConfig) (workload.StressReport, error) {
 	if cfg.Ops < 0 || cfg.Crashes < 0 {
 		return workload.StressReport{}, fmt.Errorf("pqueue: negative Ops/Crashes (%d/%d)", cfg.Ops, cfg.Crashes)
 	}
@@ -95,12 +99,28 @@ func CrashStress(mk func(Config) Queue, cfg workload.StressConfig) (workload.Str
 	if cfg.Crashes > 0 {
 		keepGoing = func() bool { return crashEvents() < uint64(cfg.Crashes) }
 	}
-	drv := RegisterQuotaPairsDriver(reg, q, pairs, keepGoing)
+	// Audit support: the recorder lives in host memory (the volatile
+	// ground truth the durable state is checked against), and the
+	// runtime's stopped-world crash hook places the global crash markers.
+	var rec *history.Recorder
+	if cfg.Audit {
+		rec = history.NewRecorder(P, history.StressCapacity(int(pairs), cfg.Crashes))
+		rt.OnSystemCrash = func(uint64) { rec.Crash() }
+	}
+	drv := RegisterQuotaPairsDriver(reg, q, pairs, keepGoing, rec)
 	prog := InstallDriver(rt, reg, drv, bases, pairs)
 	for i := 0; i < P; i++ {
 		rt.Proc(i).AutoCrash(cfg.Seed*31+int64(i), minGap, maxGap)
 	}
-	rt.RunToCompletion(prog)
+	rt.RunToCompletion(func(i int) proc.Program {
+		inner := prog(i)
+		return func(p *proc.Proc) {
+			if p.PeekCrashed() {
+				rec.Restart(i)
+			}
+			inner(p)
+		}
+	})
 	for i := 0; i < P; i++ {
 		rt.Proc(i).Disarm()
 	}
@@ -110,12 +130,28 @@ func CrashStress(mk func(Config) Queue, cfg workload.StressConfig) (workload.Str
 	// stressers do).
 	rt.CrashSystem()
 
-	report := workload.StressReport{Crashes: rt.SystemCrashes()}
+	report := workload.StressReport{Crashes: rt.SystemCrashes(), Stats: rt.TotalStats()}
 	for i := 0; i < P; i++ {
 		report.Restarts += rt.Proc(i).Restarts()
 	}
 
 	port := rt.Proc(0).Mem()
+
+	// Ordering audit first, before the conservation checks below: when a
+	// round is broken the failing-history artifact must be written even
+	// if the legacy checks would reject the round on their own.
+	if rec != nil {
+		completed := make([]uint64, P)
+		for i := 0; i < P; i++ {
+			completed[i] = capsule.NewMachine(rt.Proc(i), reg, bases[i]).Detect(drvCounter).Completed
+		}
+		h := rec.History()
+		h.Final.Residue = q.Drain(port)
+		meta := history.RunMeta{Stresser: name, Family: "queue", Seed: cfg.Seed, Shared: cfg.Shared, Procs: P}
+		if err := workload.Audit(meta, cfg.ArtifactDir, h, completed, report.Stats); err != nil {
+			return report, err
+		}
+	}
 	if got := q.Len(port); got != 0 {
 		return report, fmt.Errorf("queue holds %d values after balanced pairs: %x", got, q.Drain(port))
 	}
@@ -160,8 +196,12 @@ func init() {
 			Name:   v.name,
 			Family: "queue",
 			Run: func(cfg workload.StressConfig) (workload.StressReport, error) {
-				return CrashStress(v.mk, cfg)
+				return CrashStress(v.name, v.mk, cfg)
 			},
 		})
 	}
+	workload.RegisterHistoryChecker(workload.HistoryChecker{
+		Family: "queue",
+		Check:  history.CheckQueueFIFO,
+	})
 }

@@ -158,6 +158,16 @@ type Runtime struct {
 	// This is the shared-cache failure model.
 	SystemCrashMode bool
 
+	// OnSystemCrash, if non-nil, is called once per completed
+	// full-system crash — after the unflushed lines are dropped, while
+	// every process is still parked — with the 1-based crash count.
+	// That stopped-world instant is the only point where a global crash
+	// marker can be placed into a recorded history without racing any
+	// process's own events. The hook runs with the runtime's internal
+	// lock held: it must be fast and must not call back into the
+	// runtime. Set before processes start.
+	OnSystemCrash func(n uint64)
+
 	wg sync.WaitGroup
 
 	// Full-system crash coordination. sysCrash mirrors sysCrashing for
@@ -279,6 +289,9 @@ func (rt *Runtime) finishSysCrashLocked() {
 	if rt.sysCrashing && rt.stopped == rt.active {
 		rt.mem.Crash()
 		rt.sysCrashes++
+		if rt.OnSystemCrash != nil {
+			rt.OnSystemCrash(rt.sysCrashes)
+		}
 		rt.sysCrashing = false
 		rt.sysCrash.Store(false)
 	}

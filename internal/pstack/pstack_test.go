@@ -203,3 +203,64 @@ func TestConcurrentCrashStorm(t *testing.T) {
 		}
 	}
 }
+
+// TestStressDriverDisabledRecorderAllocs extends the capsule
+// TestBoundaryHotPathAllocs pin through the stress driver: with the
+// history recorder disabled (nil), a full push-pop pair batch through
+// the capsule machine must allocate exactly what a recorder-free twin
+// driver allocates — the audit instrumentation adds zero allocations
+// when off, since every non-audited stress round and benchmark runs
+// through this exact path. (The shared baseline is ~1 alloc/pair from
+// the Call args/ret slices, which predates and is independent of the
+// recorder.)
+func TestStressDriverDisabledRecorderAllocs(t *testing.T) {
+	const pairs = 8
+	measure := func(mk func(e *env) capsule.RoutineID) float64 {
+		e := newEnv(t, 1, pmem.Private, 1, false, false)
+		drv := mk(e)
+		capsule.InstallIdle(e.rt.Proc(0).Mem(), e.bases[0], e.reg, drv)
+		var allocs float64
+		e.rt.RunToCompletion(func(int) proc.Program {
+			return func(p *proc.Proc) {
+				mach := capsule.NewMachine(p, e.reg, e.bases[0])
+				mach.Invoke(drv, 0) // warm up flushBuf and frame state
+				allocs = testing.AllocsPerRun(20, func() {
+					mach.Invoke(drv, 0)
+				})
+			}
+		})
+		return allocs
+	}
+	withRec := measure(func(e *env) capsule.RoutineID {
+		return RegisterStressDriver(e.reg, e.s, pairs, nil, nil) // nil = audit off
+	})
+	// Twin of RegisterStressDriver with the recorder lines deleted.
+	twin := measure(func(e *env) capsule.RoutineID {
+		return e.reg.Register("pstack-stress-driver-norec", false,
+			func(c *capsule.Ctx) {
+				if c.Local(sdIdx) >= pairs {
+					c.Finish()
+					return
+				}
+				c.Call(e.s.Routine(), e.s.PushEntry(), 1, []uint64{valueTag(c.P().ID(), c.Local(sdIdx))}, nil)
+			},
+			func(c *capsule.Ctx) {
+				c.Call(e.s.Routine(), e.s.PopEntry(), 2, nil, []int{sdPopOK, sdPopV})
+			},
+			func(c *capsule.Ctx) {
+				if c.Local(sdPopOK) != 0 {
+					c.SetLocal(sdSum, c.Local(sdSum)+c.Local(sdPopV))
+					c.SetLocal(sdPops, c.Local(sdPops)+1)
+				} else {
+					c.SetLocal(sdEmpty, c.Local(sdEmpty)+1)
+				}
+				c.SetLocal(sdIdx, c.Local(sdIdx)+1)
+				c.Boundary(0)
+			},
+		)
+	})
+	if withRec > twin {
+		t.Errorf("disabled recorder adds %.1f allocs per %d-pair batch over the recorder-free twin (%.1f vs %.1f), want 0 extra",
+			withRec-twin, pairs, withRec, twin)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"delayfree/internal/capsule"
+	"delayfree/internal/history"
 	"delayfree/internal/pmem"
 	"delayfree/internal/proc"
 	"delayfree/internal/qnode"
@@ -46,7 +47,12 @@ func valueTag(pid int, k uint64) uint64 { return uint64(pid)<<40 | k }
 // pop accounting at each boundary so a crashed process resumes exactly
 // where it stopped. With keepGoing non-nil the pairs continue past
 // `pairs` until a pass completes and keepGoing() reports false.
-func RegisterStressDriver(reg *capsule.Registry, s *Stack, pairs uint64, keepGoing func() bool) capsule.RoutineID {
+//
+// With rec non-nil every operation is announced and its completion
+// recorded, keyed by the pair index (push k and the pop of pair k share
+// ID k). A capsule repetition re-records the same (op, id); the history
+// merge collapses the repeats into one conservative interval.
+func RegisterStressDriver(reg *capsule.Registry, s *Stack, pairs uint64, keepGoing func() bool, rec *history.Recorder) capsule.RoutineID {
 	return reg.Register("pstack-stress-driver", false,
 		func(c *capsule.Ctx) { // pc0: push the next tagged value or finish
 			i := c.Local(sdIdx)
@@ -54,12 +60,21 @@ func RegisterStressDriver(reg *capsule.Registry, s *Stack, pairs uint64, keepGoi
 				c.Finish()
 				return
 			}
-			c.Call(s.Routine(), s.PushEntry(), 1, []uint64{valueTag(c.P().ID(), i)}, nil)
+			v := valueTag(c.P().ID(), i)
+			rec.Invoke(c.P().ID(), history.OpPush, i, v, 0, c.Mem().Stats)
+			c.Call(s.Routine(), s.PushEntry(), 1, []uint64{v}, nil)
 		},
-		func(c *capsule.Ctx) { // pc1: pop
+		func(c *capsule.Ctx) { // pc1: push committed; pop
+			if rec.Enabled() {
+				i := c.Local(sdIdx)
+				rec.Return(c.P().ID(), history.OpPush, i, true, 0, c.Mem().Stats)
+				rec.Invoke(c.P().ID(), history.OpPop, i, 0, 0, c.Mem().Stats)
+			}
 			c.Call(s.Routine(), s.PopEntry(), 2, nil, []int{sdPopOK, sdPopV})
 		},
 		func(c *capsule.Ctx) { // pc2: account and loop
+			rec.Return(c.P().ID(), history.OpPop, c.Local(sdIdx),
+				c.Local(sdPopOK) != 0, c.Local(sdPopV), c.Mem().Stats)
 			if c.Local(sdPopOK) != 0 {
 				c.SetLocal(sdSum, c.Local(sdSum)+c.Local(sdPopV))
 				c.SetLocal(sdPops, c.Local(sdPops)+1)
@@ -136,9 +151,17 @@ func CrashStress(cfg workload.StressConfig) (workload.StressReport, error) {
 		}
 		return n
 	}
+	// Audit support: the recorder lives in host memory (the volatile
+	// ground truth the durable state is checked against), and the
+	// runtime's stopped-world crash hook places the global crash markers.
+	var rec *history.Recorder
+	if cfg.Audit {
+		rec = history.NewRecorder(P, history.StressCapacity(int(pairs), quota))
+		rt.OnSystemCrash = func(uint64) { rec.Crash() }
+	}
 	drv := RegisterStressDriver(reg, s, pairs, func() bool {
 		return crashEvents() < uint64(quota)
-	})
+	}, rec)
 	for i := 0; i < P; i++ {
 		capsule.Install(rt.Proc(i).Mem(), bases[i], reg, drv)
 	}
@@ -160,6 +183,9 @@ func CrashStress(cfg workload.StressConfig) (workload.StressReport, error) {
 
 	rt.RunToCompletion(func(i int) proc.Program {
 		return func(p *proc.Proc) {
+			if p.PeekCrashed() {
+				rec.Restart(i)
+			}
 			capsule.NewMachine(p, reg, bases[i]).Run()
 		}
 	})
@@ -171,10 +197,27 @@ func CrashStress(cfg workload.StressConfig) (workload.StressReport, error) {
 	// therefore audit the *durable* state.
 	rt.CrashSystem()
 
-	report := workload.StressReport{Crashes: rt.SystemCrashes()}
+	report := workload.StressReport{Crashes: rt.SystemCrashes(), Stats: rt.TotalStats()}
 	for i := 0; i < P; i++ {
 		report.Restarts += rt.Proc(i).Restarts()
 	}
+
+	// Ordering audit first, before the conservation checks below: when a
+	// round is broken the failing-history artifact must be written even
+	// if the legacy checks would reject the round on their own.
+	if rec != nil {
+		completed := make([]uint64, P)
+		for i := 0; i < P; i++ {
+			completed[i] = capsule.NewMachine(rt.Proc(i), reg, bases[i]).Detect(sdIdx).Completed
+		}
+		h := rec.History()
+		h.Final.Residue = s.Drain(rt.Proc(0).Mem())
+		meta := history.RunMeta{Stresser: "pstack", Family: "stack", Seed: cfg.Seed, Shared: cfg.Shared, Procs: P}
+		if err := workload.Audit(meta, cfg.ArtifactDir, h, completed, report.Stats); err != nil {
+			return report, err
+		}
+	}
+
 	if crashEvents() < uint64(quota) {
 		return report, fmt.Errorf("only %d crash events absorbed, want %d", crashEvents(), quota)
 	}
@@ -234,5 +277,9 @@ func init() {
 		Name:   "pstack",
 		Family: "stack",
 		Run:    CrashStress,
+	})
+	workload.RegisterHistoryChecker(workload.HistoryChecker{
+		Family: "stack",
+		Check:  history.CheckStackLIFO,
 	})
 }

@@ -1,0 +1,86 @@
+package all
+
+import (
+	"path/filepath"
+	"testing"
+
+	"delayfree/internal/workload"
+)
+
+// TestAuditedRoundsPass runs one audited crash-stress round per
+// registered stresser at the default seed: the round must absorb its
+// crash quota AND the recorded history must satisfy the family's
+// durable-linearizability checker plus the detectability cross-check.
+// This is the acceptance gate for `crashstress -audit order` — every
+// smoke round must stay clean at the default seed.
+func TestAuditedRoundsPass(t *testing.T) {
+	for _, s := range workload.Stressers() {
+		s := s
+		if _, ok := workload.LookupHistoryChecker(s.Family); !ok {
+			t.Errorf("stresser %q family %q has no history checker registered", s.Name, s.Family)
+			continue
+		}
+		for _, shared := range []bool{false, true} {
+			shared := shared
+			label := "private"
+			if shared {
+				label = "shared"
+			}
+			t.Run(s.Name+"/"+label, func(t *testing.T) {
+				t.Parallel()
+				// Queue rounds run quota-less (single batch): the family's
+				// known latent violation occasionally livelocks quota-driven
+				// retry loops (see ROADMAP open items), exactly as in CI's
+				// smoke. Map/stack rounds keep a small quota so every round
+				// genuinely recovers.
+				crashes := 25
+				if s.Family == "queue" {
+					crashes = 0
+				}
+				dir := t.TempDir()
+				rep, err := s.Run(workload.StressConfig{
+					Procs: 2, Ops: 20, Crashes: crashes, Seed: 1, Shared: shared,
+					Audit: true, ArtifactDir: dir,
+				})
+				if err != nil {
+					if arts, _ := filepath.Glob(filepath.Join(dir, "history-*.json")); len(arts) > 0 {
+						t.Logf("failing-history artifacts: %v", arts)
+					}
+					t.Fatalf("audited round failed: %v", err)
+				}
+				if rep.Ops == 0 {
+					t.Fatal("round reports zero operations")
+				}
+				if rep.Stats.Fences == 0 {
+					t.Fatal("round reports zero fences; Stats plumbing is broken")
+				}
+			})
+		}
+	}
+}
+
+// benchRound runs one pstack crash-stress round, the heaviest audited
+// family; `go test -bench CrashStress ./internal/workload/all` measures
+// the recorder's end-to-end overhead (audit off vs on).
+func benchRound(b *testing.B, audit bool) {
+	s, ok := workload.LookupStresser("pstack")
+	if !ok {
+		b.Fatal("pstack stresser not registered")
+	}
+	var ops uint64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := s.Run(workload.StressConfig{
+			Procs: 4, Ops: 200, Crashes: 250, Seed: 1, Shared: true,
+			Audit: audit, ArtifactDir: b.TempDir(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += rep.Ops
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "ops/s")
+}
+
+func BenchmarkCrashStressAuditOff(b *testing.B) { benchRound(b, false) }
+func BenchmarkCrashStressAuditOn(b *testing.B)  { benchRound(b, true) }

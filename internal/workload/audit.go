@@ -1,0 +1,92 @@
+package workload
+
+import (
+	"fmt"
+	"sync"
+
+	"delayfree/internal/history"
+	"delayfree/internal/pmem"
+)
+
+// HistoryChecker is the per-family ordering contract: given a recorded
+// crash history, return every durable-linearizability violation against
+// the family's sequential specification. Families register one checker
+// each from package init — the same place they register stressers — so
+// every current and future family gets ordering audits through one code
+// path; a stresser whose family has no checker fails its audited rounds
+// loudly instead of silently skipping the ordering check.
+type HistoryChecker struct {
+	// Family must match the Stresser.Family of the drivers it audits.
+	Family string
+	// Check runs the family's sequential-spec checks on a merged history.
+	Check func(h *history.History) []history.Violation
+}
+
+var auditReg = struct {
+	mu       sync.Mutex
+	checkers map[string]HistoryChecker
+	order    []string
+}{checkers: map[string]HistoryChecker{}}
+
+// RegisterHistoryChecker adds a family's checker; duplicate families
+// panic (one sequential spec per family).
+func RegisterHistoryChecker(c HistoryChecker) {
+	if c.Family == "" || c.Check == nil {
+		panic("workload: RegisterHistoryChecker requires Family and Check")
+	}
+	auditReg.mu.Lock()
+	defer auditReg.mu.Unlock()
+	if _, dup := auditReg.checkers[c.Family]; dup {
+		panic(fmt.Sprintf("workload: history checker for family %q registered twice", c.Family))
+	}
+	auditReg.checkers[c.Family] = c
+	auditReg.order = append(auditReg.order, c.Family)
+}
+
+// LookupHistoryChecker finds a family's checker.
+func LookupHistoryChecker(family string) (HistoryChecker, bool) {
+	auditReg.mu.Lock()
+	defer auditReg.mu.Unlock()
+	c, ok := auditReg.checkers[family]
+	return c, ok
+}
+
+// AuditedFamilies returns the families with a registered checker, in
+// registration order.
+func AuditedFamilies() []string {
+	auditReg.mu.Lock()
+	defer auditReg.mu.Unlock()
+	return append([]string(nil), auditReg.order...)
+}
+
+// Audit runs the full post-round audit a stresser delegates to: the
+// family's sequential-spec checker over the merged history, then the
+// detectability cross-check of the trace against the per-process
+// committed-op verdicts read from the capsule restart pointers. On any
+// violation it writes the failing-history artifact and returns an error
+// naming the first violation and the artifact path; the stresser
+// surfaces that error as a failed round.
+func Audit(meta history.RunMeta, dir string, h *history.History, completed []uint64, stats pmem.Stats) error {
+	c, ok := LookupHistoryChecker(meta.Family)
+	if !ok {
+		return fmt.Errorf("workload: family %q has no registered history checker (audit demanded, cannot run)", meta.Family)
+	}
+	var violations []history.Violation
+	if h.Dropped > 0 {
+		violations = append(violations, history.Violation{
+			Spec: "trace", Code: "overflow",
+			Msg: fmt.Sprintf("%d events overflowed the recorder; the history is incomplete — raise the recorder capacity", h.Dropped),
+		})
+	}
+	violations = append(violations, c.Check(h)...)
+	violations = append(violations, history.CheckDetectability(h, completed)...)
+	if len(violations) == 0 {
+		return nil
+	}
+	path, werr := history.WriteArtifact(dir, history.NewArtifact(meta, h, violations, stats))
+	if werr != nil {
+		path = "unwritable: " + werr.Error()
+	}
+	return fmt.Errorf("workload: audit found %d violation(s), first: %s (artifact: %s)",
+		len(violations), violations[0], path)
+}

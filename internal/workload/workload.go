@@ -189,6 +189,15 @@ type StressConfig struct {
 	// MinGap/MaxGap bound the instrumented-step gap between injected
 	// crashes; zero derives livelock-safe values from the geometry.
 	MinGap, MaxGap int64
+	// Audit enables history recording and the durable-linearizability
+	// ordering audit: the stresser records every operation, the round's
+	// crashes, and the recovered final state, then runs the family's
+	// registered HistoryChecker plus the detectability cross-check. A
+	// violation fails the round and dumps a failing-history artifact.
+	Audit bool
+	// ArtifactDir is where a failing audit writes its artifact; empty
+	// selects the OS temp directory.
+	ArtifactDir string
 }
 
 // StressReport summarizes one crash-stress round.
@@ -196,6 +205,9 @@ type StressReport struct {
 	Crashes  uint64 // full-system crashes absorbed
 	Restarts uint64 // process restarts summed over processes
 	Ops      uint64 // scripted operations executed (exactly once each)
+	// Stats sums the per-process memory counters the round consumed, so
+	// stress runs report the same persistence-cost metrics benches do.
+	Stats pmem.Stats
 }
 
 // Stresser is one registered crash-stress driver.
