@@ -73,6 +73,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Audit-coverage gate: every registered workload family must carry a
+	// history checker, or ordering audits would silently not exist for
+	// it. Refusing to run at all keeps the gap loud (see DESIGN.md,
+	// "Adding a workload family").
+	if gaps := workload.AuditCoverageGaps(); len(gaps) > 0 {
+		fmt.Fprintf(os.Stderr, "workload families without a registered history checker: %v\n", gaps)
+		os.Exit(2)
+	}
+
 	stressers := workload.Stressers()
 	if *list {
 		for _, s := range stressers {
@@ -114,11 +123,15 @@ func main() {
 						s.Name, shared, roundSeed, rep.Crashes, rep.Restarts, rep.Ops)
 					// Per-round delta of the pmem counters (each round runs
 					// on a fresh memory, so its Stats are exactly the delta).
+					// batches/avg-batch are non-zero only for the ingress-
+					// batched stressers: committed batches alongside the
+					// crash count are the per-round evidence that injected
+					// crashes landed around live combiner spans.
 					res := workload.Result{Ops: rep.Ops, Stats: rep.Stats}
-					fmt.Printf("     Δ flush/op=%-5.1f eff=%-5.1f coal=%-5.1f fence/op=%-5.1f cas/op=%-5.1f bound/op=%-4.1f lines/drain=%-5.1f steps=%d\n",
+					fmt.Printf("     Δ flush/op=%-5.1f eff=%-5.1f coal=%-5.1f fence/op=%-5.1f cas/op=%-5.1f bound/op=%-4.1f lines/drain=%-5.1f batches=%d avg-batch=%.1f steps=%d\n",
 						res.FlushesPerOp(), res.EffFlushesPerOp(), res.CoalescedPerOp(),
 						res.FencesPerOp(), res.CASesPerOp(), res.BoundariesPerOp(),
-						res.LinesPerDrain(), rep.Stats.Steps)
+						res.LinesPerDrain(), rep.Stats.Batches, res.AvgBatch(), rep.Stats.Steps)
 				}
 			}
 		}

@@ -24,6 +24,10 @@
 //   - NewRecoverableMap — a crash-recoverable open-addressing hash map
 //     composing the writable-CAS array with capsule routines, with
 //     full-system crash recovery and a volatile baseline;
+//   - NewIngressPool / RegisterBatchCombiner / RegisterBatchProducer /
+//     BatchEnqueuer / BatchPusher / BatchMapApplier — the sharded
+//     batching ingress: MPSC rings and combiner routines that amortize
+//     one capsule span and one persist epoch across whole batches;
 //   - RunBenchmark / SweepBenchmark — the Section 10 evaluation harness;
 //   - BenchKinds / BenchFigures / CrashStressers / RunCrashStress — the
 //     workload registry: every family (queue, map, stack) registers its
@@ -39,6 +43,7 @@ import (
 
 	"delayfree/internal/capsule"
 	"delayfree/internal/harness"
+	"delayfree/internal/ingress"
 	"delayfree/internal/logqueue"
 	"delayfree/internal/msq"
 	"delayfree/internal/pmap"
@@ -317,3 +322,95 @@ func CrashStressers() []Stresser { return workload.Stressers() }
 func RunCrashStress(name string, cfg StressConfig) (StressReport, error) {
 	return workload.RunStress(name, cfg)
 }
+
+// Sharded batching ingress (internal/ingress): bounded MPSC rings feed
+// per-shard combiner routines that drain whole batches and apply them
+// inside a single capsule span closed by a single persist epoch,
+// amortizing boundary and fence costs by 1/batch. Producers that run as
+// simulated processes use the producer driver, whose abandon protocol
+// keeps every operation exactly-once-or-never across crashes: a
+// returned operation is durable, an abandoned one is never retried.
+// See DESIGN.md ("Sharded batching ingress") and examples/ingress.
+type (
+	// IngressRecord is one batched operation request.
+	IngressRecord = ingress.Record
+	// IngressRing is the bounded MPSC ring (volatile by design).
+	IngressRing = ingress.Ring
+	// IngressShard is one ring plus its combiner's restart epoch.
+	IngressShard = ingress.Shard
+	// IngressPool is a sharded set of rings with producer accounting.
+	IngressPool = ingress.Pool
+	// IngressAttempt describes one producer-driver attempt.
+	IngressAttempt = ingress.Attempt
+	// MapBatchOp is one operation in a recoverable-map batch.
+	MapBatchOp = pmap.BatchOp
+)
+
+// IngressRecord operation codes.
+const (
+	IngressOpEnqueue = ingress.OpEnqueue
+	IngressOpPush    = ingress.OpPush
+	IngressOpPut     = ingress.OpPut
+	IngressOpDelete  = ingress.OpDelete
+)
+
+// Producer-driver capsule locals (read them back with Machine.LoadState
+// to account for every job after a run): attempts started, operations
+// acknowledged as durable, operations abandoned to a crash.
+const (
+	IngressSlotAttempts  = ingress.SlotIdx
+	IngressSlotReturned  = ingress.SlotRet
+	IngressSlotAbandoned = ingress.SlotAband
+)
+
+// NewIngressPool builds shards MPSC rings of the given capacity;
+// combiners drain at most batchMax records per batch and producers
+// pids are 0..producers-1.
+func NewIngressPool(shards, capacity, batchMax, producers int) *IngressPool {
+	return ingress.NewPool(shards, capacity, batchMax, producers)
+}
+
+// RegisterBatchCombiner registers shard's combiner routine: drain a
+// batch, run apply inside one capsule span, publish completion tokens,
+// finish when every producer is done and the ring is empty.
+func RegisterBatchCombiner(reg *Registry, name string, pool *IngressPool, shard int,
+	apply func(c *Ctx, batch []IngressRecord)) RoutineID {
+	return ingress.RegisterCombiner(reg, name, pool, shard, apply)
+}
+
+// RegisterBatchProducer registers a producer routine that publishes
+// mk(attempt) for attempts attempts through the pool's rings under the
+// abandon protocol (exactly-once-or-never per operation across
+// crashes).
+func RegisterBatchProducer(reg *Registry, name string, pool *IngressPool, pid int,
+	attempts uint64, mk func(attempt uint64) IngressAttempt) RoutineID {
+	return ingress.RegisterProducerDriver(reg, name, pool, pid, attempts, nil, mk, nil)
+}
+
+// BatchEnqueuer returns a combiner applier that enqueues a whole batch
+// as one privately-built chain committed by a single link CAS and made
+// durable by a single persist epoch (all-or-nothing under crashes).
+func BatchEnqueuer(q PersistentQueue) func(c *Ctx, vals []uint64) {
+	return pqueue.BatchEnqueuer(q)
+}
+
+// BatchPusher is the stack equivalent of BatchEnqueuer: one chain, one
+// top CAS, one persist epoch.
+func BatchPusher(s *PersistentStack) func(c *Ctx, vals []uint64) {
+	return pstack.BatchPusher(s)
+}
+
+// BatchMapApplier returns a combiner applier for recoverable-map
+// batches: each operation individually atomic, one closing fence as the
+// batch's durability point.
+func BatchMapApplier(m *RecoverableMap) func(c *Ctx, ops []MapBatchOp) {
+	return pmap.BatchApplier(m)
+}
+
+// RouteIngressKey maps a map key to its ingress shard (all operations
+// on one key must meet the same combiner).
+func RouteIngressKey(k uint64, nshards int) int { return pmap.RouteKey(k, nshards) }
+
+// QueueDummyNode is the arena index to pass to a transformed queue's
+// Init as its initial dummy node.
+const QueueDummyNode = pqueue.DummyNode

@@ -1,0 +1,345 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/ingress"
+	"delayfree/internal/pmap"
+	"delayfree/internal/pmem"
+	"delayfree/internal/pqueue"
+	"delayfree/internal/proc"
+	"delayfree/internal/pstack"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+	"delayfree/internal/workload"
+)
+
+// The batched kinds: cfg.Threads producer processes publish operation
+// records into the ingress rings fire-and-forget (ring backpressure is
+// the only wait), and ingress-shards combiner processes drain batches
+// of up to batch-max records, applying each batch inside one capsule
+// span with one PersistEpoch. Ops counts the producers' operations
+// (2*Pairs per producer, matching the unbatched kinds' op count);
+// Stats sums every process including the combiners, so fences/op and
+// flushes/op are directly comparable with the unbatched kinds.
+//
+// Reads are not routed through the rings: the pmap-batched kind issues
+// its read-pct share of Gets inline on the producer via the read-only
+// fast lane, exactly as the unbatched pmap kind does.
+
+// Kinds of the batched ingress family front-ends.
+const (
+	KindQueueBatched = "pqueue-batched"
+	KindStackBatched = "pstack-batched"
+	KindMapBatched   = "pmap-batched"
+)
+
+func init() {
+	workload.RegisterParams(
+		workload.Param{Name: "batch-max", Default: 64,
+			Help: "batched kinds: max operations per combiner batch"},
+		workload.Param{Name: "ingress-shards", Default: 1,
+			Help: "batched kinds: MPSC ring/combiner shards"},
+	)
+	workload.RegisterBencher(workload.Bencher{Kind: KindQueueBatched, Family: "queue", Run: runQueueBatched})
+	workload.RegisterBencher(workload.Bencher{Kind: KindStackBatched, Family: "stack", Run: runStackBatched})
+	workload.RegisterBencher(workload.Bencher{Kind: KindMapBatched, Family: "map",
+		Run: func(cfg Config) Result { return runMapBatched(KindMapBatched, cfg) }})
+
+	// The batching figure sweeps batch size over every family, with the
+	// strongest unbatched kind of each family as the 1x reference. The
+	// map points pin read-pct 0 (write-only) so the batch-size curve is
+	// not diluted by fast-lane reads that bypass the rings anyway.
+	batching := []string{KindNormalizedOpt, KindPStackOpt, "pmap-r0"}
+	for _, bm := range []int64{1, 4, 16, 64, 256} {
+		for _, base := range []string{KindQueueBatched, KindStackBatched, KindMapBatched} {
+			kind := fmt.Sprintf("%s-b%d", base, bm)
+			batching = append(batching, kind)
+			run := func(cfg Config) Result {
+				cfg.Params = cfg.Params.Set("batch-max", bm)
+				var r Result
+				switch base {
+				case KindQueueBatched:
+					r = runQueueBatched(cfg)
+				case KindStackBatched:
+					r = runStackBatched(cfg)
+				default:
+					cfg.Params = cfg.Params.Set("read-pct", 0)
+					r = runMapBatched(base, cfg)
+				}
+				r.Kind = kind
+				return r
+			}
+			family := "queue"
+			switch base {
+			case KindStackBatched:
+				family = "stack"
+			case KindMapBatched:
+				family = "map"
+			}
+			workload.RegisterBencher(workload.Bencher{Kind: kind, Family: family, Run: run})
+		}
+	}
+	workload.RegisterFigure("batching", batching...)
+}
+
+// batchGeom resolves the shared batched-kind geometry.
+func batchGeom(cfg Config) (shards, batchMax int) {
+	shards = int(cfg.Param("ingress-shards"))
+	if shards < 1 {
+		shards = 1
+	}
+	batchMax = int(cfg.Param("batch-max"))
+	if batchMax < 1 {
+		batchMax = 1
+	}
+	return shards, batchMax
+}
+
+// ringCapacity sizes a shard ring: enough runway that producers rarely
+// stall on a draining combiner, bounded so memory stays flat.
+func ringCapacity(batchMax int) int {
+	c := 4 * batchMax
+	if c < 256 {
+		c = 256
+	}
+	return c
+}
+
+func runQueueBatched(cfg Config) Result {
+	shards, batchMax := batchGeom(cfg)
+	T := cfg.Threads
+	P := T + shards
+	seed := seedNodes(cfg)
+	perProducer := uint64(cfg.Pairs) * 2
+
+	// The arena splits into equal per-pid ranges and only the combiner
+	// pids allocate: size it so each combiner's range holds its whole
+	// share of the stream.
+	perCombiner := uint64(T)*perProducer/uint64(shards) + uint64(batchMax) + 1024
+	arenaCap := seed + 8 + uint32(uint64(P)*perCombiner)
+	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(P)*capsule.ProcWords + 1<<16
+	mem := pmem.New(pmem.Config{
+		Words:      words,
+		Mode:       pmem.Shared,
+		FlushDelay: cfg.FlushDelay,
+		FenceDelay: cfg.FenceDelay,
+	})
+	rt := proc.NewRuntime(mem, P)
+	arena := qnode.NewArena(mem, arenaCap)
+	q := pqueue.NewGeneral(pqueue.Config{
+		Mem: mem, Space: rcas.NewSpace(mem, P), Arena: arena, P: P,
+		Durable: true, Opt: true,
+	})
+	setup := mem.NewPort()
+	q.Init(setup, pqueue.DummyNode+seed)
+	if seed > 0 {
+		q.Seed(setup, pqueue.DummyNode+1, seed, func(i uint32) uint64 { return uint64(i) })
+	}
+	enqueue := pqueue.BatchEnqueuer(q)
+
+	pool := ingress.NewPool(shards, ringCapacity(batchMax), batchMax, T)
+	reg := capsule.NewRegistry()
+	bases := capsule.AllocProcAreas(mem, P)
+	combiners := make([]capsule.RoutineID, shards)
+	for s := 0; s < shards; s++ {
+		vals := make([]uint64, batchMax)
+		combiners[s] = ingress.RegisterCombiner(reg, fmt.Sprintf("combine-q%d", s), pool, s,
+			func(c *capsule.Ctx, batch []ingress.Record) {
+				for i := range batch {
+					vals[i] = batch[i].A
+				}
+				enqueue(c, vals[:len(batch)])
+			})
+	}
+	for s := 0; s < shards; s++ {
+		capsule.Install(rt.Proc(T+s).Mem(), bases[T+s], reg, combiners[s])
+	}
+
+	start := time.Now()
+	rt.RunToCompletion(func(i int) proc.Program {
+		if i >= T {
+			return func(p *proc.Proc) {
+				capsule.NewMachine(p, reg, bases[i]).Run()
+			}
+		}
+		return func(p *proc.Proc) {
+			ring := pool.Shard(i % shards).Ring
+			spin := func() { p.Step() }
+			for k := uint64(0); k < perProducer; k++ {
+				ring.Publish(ingress.Record{
+					Op: ingress.OpEnqueue, Pid: int32(i),
+					A: uint64(i)<<40 | k,
+				}, spin)
+				p.Step()
+			}
+			pool.MarkDone(i)
+		}
+	})
+	return collect(KindQueueBatched, cfg, rt, start)
+}
+
+func runStackBatched(cfg Config) Result {
+	shards, batchMax := batchGeom(cfg)
+	T := cfg.Threads
+	P := T + shards
+	seed := uint32(cfg.Param("stack-seed"))
+	perProducer := uint64(cfg.Pairs) * 2
+
+	// See runQueueBatched: only combiner pids allocate from the evenly
+	// split arena, so each combiner's range must hold its whole share.
+	perCombiner := uint64(T)*perProducer/uint64(shards) + uint64(batchMax) + 1024
+	arenaCap := seed + 8 + uint32(uint64(P)*perCombiner)
+	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(P)*capsule.ProcWords + 1<<16
+	mem := pmem.New(pmem.Config{
+		Words:      words,
+		Mode:       pmem.Shared,
+		FlushDelay: cfg.FlushDelay,
+		FenceDelay: cfg.FenceDelay,
+	})
+	rt := proc.NewRuntime(mem, P)
+	arena := qnode.NewArena(mem, arenaCap)
+	s := pstack.New(pstack.Config{
+		Mem: mem, Space: rcas.NewSpace(mem, P), Arena: arena, P: P,
+		Durable: true, Opt: true,
+	})
+	setup := mem.NewPort()
+	s.Init(setup, 1+seed)
+	if seed > 0 {
+		s.Seed(setup, 1, seed, func(i uint32) uint64 { return uint64(i) })
+	}
+	push := pstack.BatchPusher(s)
+
+	pool := ingress.NewPool(shards, ringCapacity(batchMax), batchMax, T)
+	reg := capsule.NewRegistry()
+	bases := capsule.AllocProcAreas(mem, P)
+	combiners := make([]capsule.RoutineID, shards)
+	for sh := 0; sh < shards; sh++ {
+		vals := make([]uint64, batchMax)
+		combiners[sh] = ingress.RegisterCombiner(reg, fmt.Sprintf("combine-s%d", sh), pool, sh,
+			func(c *capsule.Ctx, batch []ingress.Record) {
+				for i := range batch {
+					vals[i] = batch[i].A
+				}
+				push(c, vals[:len(batch)])
+			})
+	}
+	for sh := 0; sh < shards; sh++ {
+		capsule.Install(rt.Proc(T+sh).Mem(), bases[T+sh], reg, combiners[sh])
+	}
+
+	start := time.Now()
+	rt.RunToCompletion(func(i int) proc.Program {
+		if i >= T {
+			return func(p *proc.Proc) {
+				capsule.NewMachine(p, reg, bases[i]).Run()
+			}
+		}
+		return func(p *proc.Proc) {
+			ring := pool.Shard(i % shards).Ring
+			spin := func() { p.Step() }
+			for k := uint64(0); k < perProducer; k++ {
+				ring.Publish(ingress.Record{
+					Op: ingress.OpPush, Pid: int32(i),
+					A: uint64(i)<<40 | k,
+				}, spin)
+				p.Step()
+			}
+			pool.MarkDone(i)
+		}
+	})
+	return collect(KindStackBatched, cfg, rt, start)
+}
+
+func runMapBatched(kind string, cfg Config) Result {
+	shards, batchMax := batchGeom(cfg)
+	T := cfg.Threads
+	P := T + shards
+	keys := int(cfg.Param("map-keys"))
+	if keys <= 0 {
+		keys = 1024
+	}
+	buckets := 2 * keys
+	readPct := int(cfg.Param("read-pct"))
+	ops := cfg.Pairs * 2
+
+	words := pmap.Words(buckets, 1, P) + uint64(P)*capsule.ProcWords + uint64(keys)*4 + 1<<16
+	mem := pmem.New(pmem.Config{
+		Words:      words,
+		Mode:       pmem.Shared,
+		FlushDelay: cfg.FlushDelay,
+		FenceDelay: cfg.FenceDelay,
+	})
+	rt := proc.NewRuntime(mem, P)
+	initial := make(map[uint64]uint64, keys)
+	for k := 1; k <= keys; k++ {
+		initial[uint64(k)] = uint64(k)
+	}
+	m := pmap.New(pmap.Config{
+		Mem: mem, P: P, Buckets: buckets, Shards: 1, Opt: true, Durable: true,
+	})
+	setup := mem.NewPort()
+	m.Init(setup, initial)
+	m.Bind(rt)
+	apply := pmap.BatchApplier(m)
+
+	pool := ingress.NewPool(shards, ringCapacity(batchMax), batchMax, T)
+	reg := capsule.NewRegistry()
+	m.Register(reg)
+	bases := capsule.AllocProcAreas(mem, P)
+	combiners := make([]capsule.RoutineID, shards)
+	for s := 0; s < shards; s++ {
+		batchOps := make([]pmap.BatchOp, batchMax)
+		combiners[s] = ingress.RegisterCombiner(reg, fmt.Sprintf("combine-m%d", s), pool, s,
+			func(c *capsule.Ctx, batch []ingress.Record) {
+				for i := range batch {
+					batchOps[i] = pmap.BatchOp{Del: batch[i].Op == ingress.OpDelete,
+						K: batch[i].A, V: batch[i].B}
+				}
+				apply(c, batchOps[:len(batch)])
+			})
+	}
+	for s := 0; s < shards; s++ {
+		capsule.Install(rt.Proc(T+s).Mem(), bases[T+s], reg, combiners[s])
+	}
+	for i := 0; i < T; i++ {
+		capsule.InstallIdle(rt.Proc(i).Mem(), bases[i], reg, m.Routine())
+	}
+
+	start := time.Now()
+	rt.RunToCompletion(func(i int) proc.Program {
+		if i >= T {
+			return func(p *proc.Proc) {
+				capsule.NewMachine(p, reg, bases[i]).Run()
+			}
+		}
+		return func(p *proc.Proc) {
+			// Reads ride the fast lane inline; writes go through the
+			// rings, routed by key so each key has one combiner.
+			mach := capsule.NewMachine(p, reg, bases[i])
+			rng := rand.New(rand.NewSource(int64(i) + 1))
+			spin := func() { p.Step() }
+			for n := 0; n < ops; n++ {
+				k := uint64(rng.Intn(keys) + 1)
+				if rng.Intn(100) < readPct {
+					mach.Invoke(m.Routine(), m.GetEntry(), k)
+					continue
+				}
+				rec := ingress.Record{Pid: int32(i), A: k}
+				if n%3 == 1 {
+					rec.Op = ingress.OpDelete
+				} else {
+					rec.Op = ingress.OpPut
+					rec.B = uint64(n)
+				}
+				pool.Shard(pmap.RouteKey(k, shards)).Ring.Publish(rec, spin)
+				p.Step()
+			}
+			pool.MarkDone(i)
+		}
+	})
+	return collect(kind, cfg, rt, start)
+}

@@ -1,6 +1,9 @@
 package history
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // The checkers below verify necessary conditions for durable
 // linearizability against each family's sequential specification. They
@@ -168,13 +171,30 @@ func (ix *pairedOps) emptyWitness(spec string, d *OpRecord) []Violation {
 // durable linearizability. OpEnq produces Arg; OpDeq consumes, with
 // (Ok, Res) the result; Final.Residue is the recovered queue drained
 // head to tail.
+//
+// The quadratic pair loops only run when the O(n log n) sweep detectors
+// report that at least one violation exists, so clean histories — the
+// overwhelmingly common case — check in near-linear time while failing
+// histories still produce the full exhaustive witness set.
 func CheckQueueFIFO(h *History) []Violation {
 	const spec = "queue"
 	ix := indexPairs(h, OpEnq, OpDeq)
 	vs := ix.conservation(spec, h)
+	if ix.queueOrderSuspect() {
+		vs = append(vs, ix.queueOrderExhaustive(spec)...)
+	}
+	if ix.emptySuspect() {
+		vs = append(vs, ix.emptyExhaustive(spec)...)
+	}
+	return vs
+}
 
-	// FIFO order over completed operations: if e1 really preceded e2,
-	// v1 must leave the queue before v2 in every linearization.
+// queueOrderExhaustive is the quadratic FIFO witness search: if e1
+// really preceded e2, v1 must leave the queue before v2 in every
+// linearization. Run only after queueOrderSuspect reports a violation
+// exists (or directly by the differential tests).
+func (ix *pairedOps) queueOrderExhaustive(spec string) []Violation {
+	var vs []Violation
 	for i, e1 := range ix.prod {
 		if !e1.Returned {
 			continue
@@ -205,6 +225,70 @@ func CheckQueueFIFO(h *History) []Violation {
 			}
 		}
 	}
+	return vs
+}
+
+// retSorted returns the returned ops among ops sorted by RetTicket.
+func retSorted(ops []*OpRecord) []*OpRecord {
+	out := make([]*OpRecord, 0, len(ops))
+	for _, op := range ops {
+		if op.Returned {
+			out = append(out, op)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].RetTicket < out[j].RetTicket })
+	return out
+}
+
+// queueOrderSuspect reports whether queueOrderExhaustive would find at
+// least one violation, in O(n log n): sweep candidates e2 in invocation
+// order (ix.prod is InvTicket-sorted) while admitting every producer e1
+// with e1.RetTicket < e2.InvTicket — exactly e1.Precedes(e2) — and
+// reduce the admitted set to the three running aggregates each check
+// maximizes over.
+func (ix *pairedOps) queueOrderSuspect() bool {
+	ret := retSorted(ix.prod)
+	var (
+		ptr      int
+		maxD1Inv uint64 // max d1.InvTicket over admitted e1 with a sole consumer
+		hasD1    bool
+		anyRes   bool // any admitted e1 surviving in the residue
+		maxResIx = -1 // max drain index over admitted residue e1
+	)
+	for _, e2 := range ix.prod {
+		for ptr < len(ret) && ret[ptr].RetTicket < e2.InvTicket {
+			e1 := ret[ptr]
+			ptr++
+			if d1 := ix.soleConsumer(e1.Arg); d1 != nil {
+				if !hasD1 || d1.InvTicket > maxD1Inv {
+					maxD1Inv, hasD1 = d1.InvTicket, true
+				}
+			}
+			if ri, ok := ix.residueIx[e1.Arg]; ok {
+				anyRes = true
+				if ri > maxResIx {
+					maxResIx = ri
+				}
+			}
+		}
+		if d2 := ix.soleConsumer(e2.Arg); d2 != nil {
+			if anyRes {
+				return true // fifo-overtake: some admitted e1 survived while v2 was dequeued
+			}
+			if hasD1 && d2.Returned && maxD1Inv > d2.RetTicket {
+				return true // fifo-order: d2.Precedes(d1) for the maximizing d1
+			}
+		}
+		if i2, ok := ix.residueIx[e2.Arg]; ok && maxResIx > i2 {
+			return true // residue-order: some admitted residue e1 drains after e2
+		}
+	}
+	return false
+}
+
+// emptyExhaustive runs emptyWitness for every failed consume.
+func (ix *pairedOps) emptyExhaustive(spec string) []Violation {
+	var vs []Violation
 	for _, d := range ix.cons {
 		if d.Returned && !d.Ok {
 			vs = append(vs, ix.emptyWitness(spec, d)...)
@@ -213,14 +297,95 @@ func CheckQueueFIFO(h *History) []Violation {
 	return vs
 }
 
+// emptySuspect reports whether emptyExhaustive would find at least one
+// violation, in O(n log n). Per value with a returned first producer,
+// the witness condition against a failed consume d reduces to a single
+// threshold key: +inf when the value survived in the residue (always a
+// violation once the producer precedes d), min consumer InvTicket when
+// it was consumed (a violation iff d.RetTicket is below it), and -inf
+// when unconsumed (never a violation). Sweeping failed consumes in
+// invocation order with a running max over admitted keys decides
+// existence exactly.
+func (ix *pairedOps) emptySuspect() bool {
+	var fails []*OpRecord
+	for _, d := range ix.cons {
+		if d.Returned && !d.Ok {
+			fails = append(fails, d)
+		}
+	}
+	if len(fails) == 0 {
+		return false
+	}
+	type valKey struct {
+		ret uint64 // producer RetTicket (admission)
+		key uint64 // min consumer InvTicket
+		inf bool   // value in residue: violation for any admitted d
+	}
+	var vals []valKey
+	for v, prods := range ix.prodByVal {
+		p := prods[0]
+		if !p.Returned {
+			continue
+		}
+		if _, inRes := ix.residueIx[v]; inRes {
+			vals = append(vals, valKey{ret: p.RetTicket, inf: true})
+		} else if cons := ix.consByVal[v]; len(cons) > 0 {
+			minInv := cons[0].InvTicket
+			for _, c := range cons[1:] {
+				if c.InvTicket < minInv {
+					minInv = c.InvTicket
+				}
+			}
+			vals = append(vals, valKey{ret: p.RetTicket, key: minInv})
+		}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].ret < vals[j].ret })
+	var (
+		ptr    int
+		maxKey uint64
+		hasKey bool
+	)
+	for _, d := range fails { // fails is InvTicket-sorted (ix.cons is)
+		for ptr < len(vals) && vals[ptr].ret < d.InvTicket {
+			if vals[ptr].inf {
+				return true
+			}
+			if !hasKey || vals[ptr].key > maxKey {
+				maxKey, hasKey = vals[ptr].key, true
+			}
+			ptr++
+		}
+		if hasKey && maxKey > d.RetTicket {
+			return true
+		}
+	}
+	return false
+}
+
 // CheckStackLIFO audits h against the LIFO-stack sequential spec under
 // durable linearizability. OpPush produces Arg; OpPop consumes;
 // Final.Residue is the recovered stack drained top to bottom.
+//
+// As with CheckQueueFIFO, the quadratic witness search only runs when
+// the O(n log n) detectors report a violation exists.
 func CheckStackLIFO(h *History) []Violation {
 	const spec = "stack"
 	ix := indexPairs(h, OpPush, OpPop)
 	vs := ix.conservation(spec, h)
+	if ix.stackOrderSuspect() {
+		vs = append(vs, ix.stackOrderExhaustive(spec)...)
+	}
+	if ix.emptySuspect() {
+		vs = append(vs, ix.emptyExhaustive(spec)...)
+	}
+	return vs
+}
 
+// stackOrderExhaustive is the quadratic LIFO witness search; run only
+// after stackOrderSuspect reports a violation exists (or directly by
+// the differential tests).
+func (ix *pairedOps) stackOrderExhaustive(spec string) []Violation {
+	var vs []Violation
 	for i, p1 := range ix.prod {
 		if !p1.Returned {
 			continue
@@ -254,12 +419,117 @@ func CheckStackLIFO(h *History) []Violation {
 			}
 		}
 	}
-	for _, d := range ix.cons {
-		if d.Returned && !d.Ok {
-			vs = append(vs, ix.emptyWitness(spec, d)...)
+	return vs
+}
+
+// fenwickMax is a Fenwick tree over 0-based ranks supporting point
+// max-updates and prefix-max queries, both O(log n).
+type fenwickMax struct {
+	tree []uint64
+	set  []bool
+}
+
+func newFenwickMax(n int) *fenwickMax {
+	return &fenwickMax{tree: make([]uint64, n+1), set: make([]bool, n+1)}
+}
+
+func (f *fenwickMax) update(rank int, v uint64) {
+	for i := rank + 1; i < len(f.tree); i += i & -i {
+		if !f.set[i] || v > f.tree[i] {
+			f.tree[i], f.set[i] = v, true
 		}
 	}
-	return vs
+}
+
+// prefixMax returns the max value over ranks [0, rank) and whether any
+// rank in the range has been set.
+func (f *fenwickMax) prefixMax(rank int) (uint64, bool) {
+	var best uint64
+	var any bool
+	if rank > len(f.tree)-1 {
+		rank = len(f.tree) - 1
+	}
+	for i := rank; i > 0; i -= i & -i {
+		if f.set[i] && (!any || f.tree[i] > best) {
+			best, any = f.tree[i], true
+		}
+	}
+	return best, any
+}
+
+// stackOrderSuspect reports whether stackOrderExhaustive would find at
+// least one violation, in O(n log n). Sweeping p2 in invocation order
+// admits every p1 with p1.Precedes(p2); the three exhaustive checks
+// reduce to aggregates over the admitted set:
+//
+//   - survivor branch (p2 in residue): fires iff some admitted p1 has a
+//     consumer pop1 with p2.RetTicket < pop1.InvTicket — a running max
+//     over pop1.InvTicket decides it;
+//   - pop-order branch: fires iff some admitted p1 has a returned pop1
+//     with pop1.RetTicket < pop2.InvTicket and pop1.InvTicket >
+//     p2.RetTicket — a 2-D dominance query answered by a Fenwick
+//     prefix-max keyed on pop1.RetTicket rank (this ignores the
+//     exhaustive branch's !r2 guard, so it can over-report only in
+//     histories where conservation already fails — gating stays sound
+//     because false positives merely run the exhaustive pass);
+//   - residue order: fires iff some admitted survivor p1 drains at a
+//     smaller index than survivor p2 — a running min over drain index.
+func (ix *pairedOps) stackOrderSuspect() bool {
+	ret := retSorted(ix.prod)
+	// Rank the returned sole consumers' RetTickets for the Fenwick keys.
+	var popRets []uint64
+	for _, p1 := range ret {
+		if pop1 := ix.soleConsumer(p1.Arg); pop1 != nil && pop1.Returned {
+			popRets = append(popRets, pop1.RetTicket)
+		}
+	}
+	sort.Slice(popRets, func(i, j int) bool { return popRets[i] < popRets[j] })
+	fw := newFenwickMax(len(popRets))
+	var (
+		ptr        int
+		maxPop1Inv uint64
+		hasPop1    bool
+		minResIx   int
+		hasRes     bool
+	)
+	for _, p2 := range ix.prod {
+		for ptr < len(ret) && ret[ptr].RetTicket < p2.InvTicket {
+			p1 := ret[ptr]
+			ptr++
+			if pop1 := ix.soleConsumer(p1.Arg); pop1 != nil {
+				if !hasPop1 || pop1.InvTicket > maxPop1Inv {
+					maxPop1Inv, hasPop1 = pop1.InvTicket, true
+				}
+				if pop1.Returned {
+					rank := sort.Search(len(popRets), func(i int) bool { return popRets[i] >= pop1.RetTicket })
+					fw.update(rank, pop1.InvTicket)
+				}
+			}
+			if ri, ok := ix.residueIx[p1.Arg]; ok {
+				if !hasRes || ri < minResIx {
+					minResIx, hasRes = ri, true
+				}
+			}
+		}
+		i2, r2 := ix.residueIx[p2.Arg]
+		if r2 && hasRes && minResIx < i2 {
+			return true // residue order (needs no p2 return)
+		}
+		if !p2.Returned {
+			continue // the remaining branches need p2.Precedes(pop1)
+		}
+		if r2 && hasPop1 && maxPop1Inv > p2.RetTicket {
+			return true // survivor branch
+		}
+		if pop2 := ix.soleConsumer(p2.Arg); pop2 != nil {
+			// Admit pop1s with pop1.RetTicket < pop2.InvTicket.
+			upto := sort.Search(len(popRets), func(i int) bool { return popRets[i] >= pop2.InvTicket })
+			if best, any := fw.prefixMax(upto); any && best > p2.RetTicket {
+				return true // pop-order branch
+			}
+		}
+	}
+	return false
 }
 
 // CheckMapLWW audits h against a last-write-wins map. OpPut writes

@@ -1,0 +1,277 @@
+package history
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// The order and empty-witness passes of the queue/stack checkers are
+// gated behind O(n log n) sweep detectors; the exhaustive pair loops
+// run only when a detector reports a violation exists. These tests pin
+// the contract: the gated public checkers must produce exactly the set
+// of violations the ungated exhaustive composition produces, on both
+// hand-built violating histories and randomized (frequently broken)
+// ones. A detector false negative shows up as a missing violation; a
+// false positive is invisible here by design (it merely runs the
+// exhaustive pass, which then reports nothing extra).
+
+func queueExhaustive(h *History) []Violation {
+	ix := indexPairs(h, OpEnq, OpDeq)
+	vs := ix.conservation("queue", h)
+	vs = append(vs, ix.queueOrderExhaustive("queue")...)
+	vs = append(vs, ix.emptyExhaustive("queue")...)
+	return vs
+}
+
+func stackExhaustive(h *History) []Violation {
+	ix := indexPairs(h, OpPush, OpPop)
+	vs := ix.conservation("stack", h)
+	vs = append(vs, ix.stackOrderExhaustive("stack")...)
+	vs = append(vs, ix.emptyExhaustive("stack")...)
+	return vs
+}
+
+// canon sorts violations into a deterministic order: conservation and
+// the empty-witness pass iterate Go maps, so two runs over the same
+// history may emit the same multiset in different orders.
+func canon(vs []Violation) []Violation {
+	if len(vs) == 0 {
+		return nil
+	}
+	out := append([]Violation(nil), vs...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].String() != out[j].String() {
+			return out[i].String() < out[j].String()
+		}
+		return fmt.Sprint(out[i].Ops) < fmt.Sprint(out[j].Ops)
+	})
+	return out
+}
+
+func diffCheck(t *testing.T, name string, h *History, gated func(*History) []Violation, exhaustive func(*History) []Violation) {
+	t.Helper()
+	want := canon(exhaustive(h))
+	got := canon(gated(h))
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("%s: gated checker diverged from exhaustive reference\n got: [%s]\nwant: [%s]", name, codes(got), codes(want))
+	}
+}
+
+// --- Hand-built histories, one per violation class the detectors gate ---
+
+func TestIndexedQueueAgreesOnConstructed(t *testing.T) {
+	cases := map[string]*History{
+		"clean": &newHB(2).
+			op(0, OpEnq, 0, 100, 0, true, 0).
+			op(0, OpEnq, 1, 101, 0, true, 0).
+			op(1, OpDeq, 0, 0, 0, true, 100).
+			op(1, OpDeq, 1, 0, 0, true, 101).h,
+		"fifo-order": &newHB(2).
+			op(0, OpEnq, 0, 100, 0, true, 0).
+			op(0, OpEnq, 1, 101, 0, true, 0).
+			op(1, OpDeq, 0, 0, 0, true, 101).
+			op(1, OpDeq, 1, 0, 0, true, 100).h,
+		"fifo-overtake": &newHB(2).
+			op(0, OpEnq, 0, 100, 0, true, 0).
+			op(0, OpEnq, 1, 101, 0, true, 0).
+			op(1, OpDeq, 0, 0, 0, true, 101).
+			residue(100).h,
+		"residue-order": &newHB(1).
+			op(0, OpEnq, 0, 100, 0, true, 0).
+			op(0, OpEnq, 1, 101, 0, true, 0).
+			residue(101, 100).h,
+		"empty-residue": &newHB(2).
+			op(0, OpEnq, 0, 100, 0, true, 0).
+			op(1, OpDeq, 0, 0, 0, false, 0).
+			residue(100).h,
+		"empty-late-consumer": &newHB(3).
+			op(0, OpEnq, 0, 100, 0, true, 0).
+			op(1, OpDeq, 0, 0, 0, false, 0).
+			op(2, OpDeq, 0, 0, 0, true, 100).h,
+		"empty-legit-concurrent": &newHB(2).
+			op(0, OpEnq, 0, 100, 0, true, 0).
+			op(1, OpDeq, 0, 0, 0, false, 0).overlap().
+			op(1, OpDeq, 1, 0, 0, true, 100).h,
+	}
+	for name, h := range cases {
+		diffCheck(t, name, h, CheckQueueFIFO, queueExhaustive)
+	}
+	for _, name := range []string{"fifo-order", "fifo-overtake", "residue-order"} {
+		if !indexPairs(cases[name], OpEnq, OpDeq).queueOrderSuspect() {
+			t.Errorf("%s: queueOrderSuspect missed a real order violation", name)
+		}
+	}
+	if indexPairs(cases["clean"], OpEnq, OpDeq).queueOrderSuspect() {
+		t.Error("clean: queueOrderSuspect fired on a violation-free history")
+	}
+	if indexPairs(cases["empty-legit-concurrent"], OpEnq, OpDeq).emptySuspect() {
+		t.Error("empty-legit-concurrent: emptySuspect fired on an excused empty deq")
+	}
+}
+
+func TestIndexedStackAgreesOnConstructed(t *testing.T) {
+	cases := map[string]*History{
+		"clean": &newHB(1).
+			op(0, OpPush, 0, 100, 0, true, 0).
+			op(0, OpPush, 1, 101, 0, true, 0).
+			op(0, OpPop, 0, 0, 0, true, 101).
+			op(0, OpPop, 1, 0, 0, true, 100).h,
+		"lifo-order-survivor": &newHB(2).
+			op(0, OpPush, 0, 100, 0, true, 0).
+			op(0, OpPush, 1, 101, 0, true, 0).
+			op(1, OpPop, 0, 0, 0, true, 100).
+			residue(101).h,
+		"lifo-order-pops": &newHB(2).
+			op(0, OpPush, 0, 100, 0, true, 0).
+			op(0, OpPush, 1, 101, 0, true, 0).
+			op(1, OpPop, 0, 0, 0, true, 100).
+			op(1, OpPop, 1, 0, 0, true, 101).h,
+		"residue-order": &newHB(1).
+			op(0, OpPush, 0, 100, 0, true, 0).
+			op(0, OpPush, 1, 101, 0, true, 0).
+			residue(100, 101).h,
+		"empty-residue": &newHB(2).
+			op(0, OpPush, 0, 100, 0, true, 0).
+			op(1, OpPop, 0, 0, 0, false, 0).
+			residue(100).h,
+	}
+	for name, h := range cases {
+		diffCheck(t, name, h, CheckStackLIFO, stackExhaustive)
+	}
+	for _, name := range []string{"lifo-order-survivor", "lifo-order-pops", "residue-order"} {
+		if !indexPairs(cases[name], OpPush, OpPop).stackOrderSuspect() {
+			t.Errorf("%s: stackOrderSuspect missed a real order violation", name)
+		}
+	}
+	if indexPairs(cases["clean"], OpPush, OpPop).stackOrderSuspect() {
+		t.Error("clean: stackOrderSuspect fired on a violation-free history")
+	}
+}
+
+// --- Randomized differential sweep ---
+
+// genPairedHistory builds a random, frequently-broken history: random
+// overlap structure (tickets drawn as pairs from a shuffled pool),
+// random fates per value (consumed, surviving, lost, duplicated, in
+// flight), failed consumes, and a shuffled residue. The differential
+// property must hold on every one of them — including histories whose
+// conservation is already broken.
+func genPairedHistory(rnd *rand.Rand, prodOp, consOp Op) *History {
+	nVals := 2 + rnd.Intn(14)
+	nFail := rnd.Intn(4)
+	maxOps := 3*nVals + nFail
+	pool := rnd.Perm(2 * maxOps)
+	var next int
+	tickets := func() (uint64, uint64) {
+		a, b := pool[next], pool[next+1]
+		next += 2
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(a + 1), uint64(b + 1)
+	}
+	h := &History{Procs: 3}
+	add := func(op Op, arg uint64, returned, ok bool, res uint64) {
+		inv, ret := tickets()
+		r := OpRecord{
+			Proc: int32(rnd.Intn(3)), Op: op, Arg: arg,
+			Invoked: true, InvTicket: inv, Invokes: 1,
+			Ok: ok, Res: res,
+		}
+		if returned {
+			r.Returned, r.RetTicket, r.Returns = true, ret, 1
+		}
+		h.Ops = append(h.Ops, r)
+	}
+	var residue []uint64
+	for v := uint64(100); v < 100+uint64(nVals); v++ {
+		add(prodOp, v, rnd.Float64() < 0.85, true, 0)
+		switch rnd.Intn(10) {
+		case 0, 1, 2, 3: // consumed
+			add(consOp, 0, rnd.Float64() < 0.9, true, v)
+		case 4, 5, 6: // survives to the end
+			residue = append(residue, v)
+		case 7: // consumed twice (dup-delivery)
+			add(consOp, 0, true, true, v)
+			add(consOp, 0, true, true, v)
+		case 8: // consumed AND survives (double-effect)
+			add(consOp, 0, true, true, v)
+			residue = append(residue, v)
+		default: // lost (or legitimately dropped if the produce hung)
+		}
+	}
+	for i := 0; i < nFail; i++ {
+		add(consOp, 0, true, false, 0)
+	}
+	rnd.Shuffle(len(residue), func(i, j int) { residue[i], residue[j] = residue[j], residue[i] })
+	h.Final.Residue = residue
+	sort.SliceStable(h.Ops, func(i, j int) bool { return h.Ops[i].InvTicket < h.Ops[j].InvTicket })
+	return h
+}
+
+func TestIndexedCheckersAgreeOnRandomHistories(t *testing.T) {
+	rnd := rand.New(rand.NewSource(0x5eed))
+	for i := 0; i < 4000; i++ {
+		hq := genPairedHistory(rnd, OpEnq, OpDeq)
+		diffCheck(t, fmt.Sprintf("queue[%d]", i), hq, CheckQueueFIFO, queueExhaustive)
+		hs := genPairedHistory(rnd, OpPush, OpPop)
+		diffCheck(t, fmt.Sprintf("stack[%d]", i), hs, CheckStackLIFO, stackExhaustive)
+		if t.Failed() {
+			t.Fatalf("stopping at iteration %d", i)
+		}
+	}
+}
+
+// --- Benchmarks pinning the speedup on clean histories ---
+
+// cleanProduceHeavy mirrors what a batched stresser round records: many
+// completed produces, a handful of failed consumes, everything
+// surviving in produce order.
+func cleanProduceHeavy(n int, prodOp Op, reverse bool) *History {
+	b := newHB(4)
+	residue := make([]uint64, 0, n)
+	for v := uint64(1); v <= uint64(n); v++ {
+		b.op(int(v)%4, prodOp, v, 1000+v, 0, true, 0)
+		residue = append(residue, 1000+v)
+	}
+	if reverse {
+		for i, j := 0, len(residue)-1; i < j; i, j = i+1, j-1 {
+			residue[i], residue[j] = residue[j], residue[i]
+		}
+	}
+	b.residue(residue...)
+	return &b.h
+}
+
+func BenchmarkCheckQueueFIFOCleanIndexed(b *testing.B) {
+	h := cleanProduceHeavy(8192, OpEnq, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := CheckQueueFIFO(h); len(vs) != 0 {
+			b.Fatalf("clean history flagged: %v", vs)
+		}
+	}
+}
+
+func BenchmarkCheckQueueFIFOCleanExhaustive(b *testing.B) {
+	h := cleanProduceHeavy(8192, OpEnq, false)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := queueExhaustive(h); len(vs) != 0 {
+			b.Fatalf("clean history flagged: %v", vs)
+		}
+	}
+}
+
+func BenchmarkCheckStackLIFOCleanIndexed(b *testing.B) {
+	h := cleanProduceHeavy(8192, OpPush, true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if vs := CheckStackLIFO(h); len(vs) != 0 {
+			b.Fatalf("clean history flagged: %v", vs)
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package ingress
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/history"
+)
+
+// Crash-stress producer driver shared by the batched stressers of all
+// three families. The completion protocol it implements is the ingress
+// layer's crash story made checkable:
+//
+//   - Every attempt gets a fresh, never-reused value and a fresh
+//     completion slot, and is announced to the history recorder before
+//     it is published. A producer therefore never republishes: an
+//     operation it cannot prove durable is abandoned, which the
+//     durable-linearizability checkers treat exactly as the criterion
+//     demands — its effect may be absent or present, but present at
+//     most once (the combiner applies a drained record exactly once or
+//     loses it with the ring).
+//   - The persisted attempt counter advances *before* the publish (its
+//     own capsule boundary), so a crash anywhere in the publish/wait
+//     span replays into a fresh attempt — the ambiguous one is left
+//     invoked-but-unreturned, never retried with the same value.
+//   - Completion is observed through the per-attempt slot the combiner
+//     stores into strictly after its batch's durability point, so a
+//     recorded Return implies the operation is durable.
+//   - The shard epoch snapshot (persisted with the attempt) detects a
+//     combiner restart: the in-flight batch died with its volatile
+//     ring, so the producer abandons instead of waiting forever.
+//
+// Because abandoned attempts leave holes in the per-producer ID
+// sequence, the committed-count watermark contract of the
+// detectability cross-check does not apply; batched stressers pass
+// completed = nil to workload.Audit, which skips exactly that check.
+
+// Producer driver slots. The counters are exported so the family
+// stressers can read a finished producer's persisted accounting through
+// capsule.Machine.LoadState.
+const (
+	SlotIdx   = 1 // persisted attempt counter (advances before publish)
+	SlotRet   = 2 // completed (returned) operations
+	SlotAband = 3 // attempts abandoned at a crash or combiner restart
+	pdEpoch   = 4 // shard-epoch snapshot for the in-flight attempt
+)
+
+// Attempt describes one producer attempt: the destination shard, the
+// record to publish (Pid/Token/Done are filled in by the driver), and
+// the history op code under which it is announced (Rec.A is recorded
+// as Arg, Rec.B as Arg2).
+type Attempt struct {
+	Shard int
+	Rec   Record
+	HOp   history.Op
+}
+
+// RegisterProducerDriver registers the batched-stress producer routine
+// for process pid: publish mk(attempt) records through the pool until
+// `attempts` operations have been attempted and keepGoing (if non-nil)
+// reports false, waiting out each attempt's completion and abandoning
+// it on any crash or combiner restart. mk must be deterministic in its
+// argument, and every attempt's Rec.A must be globally unique (the
+// conservation checkers key on it).
+func RegisterProducerDriver(reg *capsule.Registry, name string, pool *Pool, pid int,
+	attempts uint64, keepGoing func() bool, mk func(attempt uint64) Attempt,
+	rec *history.Recorder) capsule.RoutineID {
+	return reg.Register(name, false,
+		func(c *capsule.Ctx) { // pc0: claim the next attempt durably
+			i := c.Local(SlotIdx)
+			if i >= attempts && (keepGoing == nil || !keepGoing()) {
+				c.Finish()
+				return
+			}
+			a := mk(i)
+			c.SetLocal(pdEpoch, pool.Shard(a.Shard).Epoch.Load())
+			c.SetLocal(SlotIdx, i+1)
+			c.Boundary(1)
+		},
+		func(c *capsule.Ctx) { // pc1: publish and wait, or abandon
+			i := c.Local(SlotIdx) - 1
+			if c.Crashed() {
+				// Replay after a crash inside this span: the attempt may
+				// or may not have been published, and if published it may
+				// or may not yet be durable. Republishing could apply it
+				// twice; waiting could wait forever. Abandon — the trace
+				// keeps it invoked-but-unreturned, excused as
+				// absent-or-once.
+				c.SetLocal(SlotAband, c.Local(SlotAband)+1)
+				c.Boundary(0)
+				return
+			}
+			a := mk(i)
+			sh := pool.Shard(a.Shard)
+			epoch := c.Local(pdEpoch)
+			token := i + 1
+			done := new(atomic.Uint64) // fresh slot: stale stores from older attempts land elsewhere
+			r := a.Rec
+			r.Pid = int32(pid)
+			r.Token = token
+			r.Done = done
+			rec.Invoke(pid, a.HOp, i, r.A, r.B, c.Mem().Stats)
+			for !sh.Ring.TryPublish(r) {
+				if sh.Epoch.Load() != epoch {
+					// Combiner restarted while the ring was full; nothing
+					// published yet, but the epoch snapshot is stale —
+					// abandon rather than guess at the new combiner's state.
+					c.SetLocal(SlotAband, c.Local(SlotAband)+1)
+					c.Boundary(0)
+					return
+				}
+				c.P().Step()
+				runtime.Gosched()
+			}
+			for {
+				if done.Load() == token {
+					// Stored strictly after the batch's durability point:
+					// the operation is durable, exactly once.
+					rec.Return(pid, a.HOp, i, true, 0, c.Mem().Stats)
+					c.SetLocal(SlotRet, c.Local(SlotRet)+1)
+					c.Boundary(0)
+					return
+				}
+				if sh.Epoch.Load() != epoch {
+					c.SetLocal(SlotAband, c.Local(SlotAband)+1)
+					c.Boundary(0)
+					return
+				}
+				c.P().Step()
+				runtime.Gosched()
+			}
+		},
+	)
+}

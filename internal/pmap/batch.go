@@ -1,0 +1,64 @@
+package pmap
+
+import (
+	"delayfree/internal/capsule"
+)
+
+// Batch put/delete: the ingress combiner's applier for the map family.
+//
+// Unlike the queue and stack, the map has no single commit word — each
+// put/delete is individually atomic through the writable-CAS protocol
+// (a crash keeps the old value or the new one, never a torn mix). What
+// batching amortizes here is everything *around* the writes: the
+// per-operation capsule Invoke/Boundary machinery disappears into one
+// combiner span, pending wcas flushes drain at the next operation's
+// CAS instead of per-op, and one closing Fence ends the batch's epoch.
+// A crash inside the batch durably applies a prefix of it — each
+// operation all-or-nothing — and the ring guarantees per-key ordering
+// because the ingress layer routes a key to exactly one shard.
+
+// BatchOp is one operation of a map batch.
+type BatchOp struct {
+	Del  bool
+	K, V uint64
+}
+
+// RouteKey returns the ingress shard (out of nshards) responsible for
+// key k. Producers and the harness must route through this so that
+// each key is applied by exactly one combiner, preserving per-key
+// order; it reuses the map's own hash so the split is uniform.
+func RouteKey(k uint64, nshards int) int {
+	return int((mix(k) >> 48) % uint64(nshards))
+}
+
+// BatchApplier returns the batch applier for m, executing on the
+// combiner process's behalf. Writes follow the exact per-operation
+// protocol of the put/delete capsules (probe, claim, wcas write); only
+// the capsule packaging is batched away.
+func BatchApplier(m *Map) func(c *capsule.Ctx, ops []BatchOp) {
+	return func(c *capsule.Ctx, ops []BatchOp) {
+		if len(ops) == 0 {
+			return
+		}
+		pid := c.P().ID()
+		p := c.Mem()
+		for _, op := range ops {
+			if op.Del {
+				checkKV(op.K, 0)
+				if si, b, ok := m.find(pid, op.K, false); ok {
+					m.hs[pid][si].Write(valObj(b), 0)
+				}
+			} else {
+				checkKV(op.K, op.V)
+				si, b, ok := m.find(pid, op.K, true)
+				if !ok {
+					panic("pmap: batch put on a full table")
+				}
+				m.hs[pid][si].Write(valObj(b), op.V+1)
+			}
+		}
+		// The batch's durability point: close the epoch left pending by
+		// the last write's trailing flush.
+		p.Fence()
+	}
+}

@@ -38,7 +38,14 @@ type Stats struct {
 	// persisted boundary instead.
 	Boundaries       uint64
 	BoundariesElided uint64
-	Steps            uint64 // total instrumented steps
+	// Batches counts combiner batches committed through this port (one
+	// per NoteBatch call), and BatchedOps the operations those batches
+	// carried. BatchedOps/Batches is the realized batch size — the
+	// amortization factor the ingress layer buys; Fences/BatchedOps is
+	// its headline fences-per-op figure.
+	Batches    uint64
+	BatchedOps uint64
+	Steps      uint64 // total instrumented steps
 }
 
 // Add accumulates other into s.
@@ -53,6 +60,8 @@ func (s *Stats) Add(other Stats) {
 	s.Fences += other.Fences
 	s.Boundaries += other.Boundaries
 	s.BoundariesElided += other.BoundariesElided
+	s.Batches += other.Batches
+	s.BatchedOps += other.BatchedOps
 	s.Steps += other.Steps
 }
 
@@ -72,6 +81,8 @@ func (s Stats) Sub(other Stats) Stats {
 		Fences:           s.Fences - other.Fences,
 		Boundaries:       s.Boundaries - other.Boundaries,
 		BoundariesElided: s.BoundariesElided - other.BoundariesElided,
+		Batches:          s.Batches - other.Batches,
+		BatchedOps:       s.BatchedOps - other.BatchedOps,
 		Steps:            s.Steps - other.Steps,
 	}
 }
@@ -362,6 +373,15 @@ func (p *Port) DropPending() {
 	p.pending = p.pending[:0]
 	p.parkPendingSet()
 	p.unfenced = false
+}
+
+// NoteBatch records that a combiner committed one batch of n operations
+// through this port. Pure accounting: no step, no crash hook, no delay —
+// the batch's real cost was already charged by the flushes, CASes and
+// fences the batch issued.
+func (p *Port) NoteBatch(n uint64) {
+	p.Stats.Batches++
+	p.Stats.BatchedOps += n
 }
 
 // PersistEffects returns the monotone count of persistent effects this

@@ -1,0 +1,113 @@
+package pqueue
+
+import (
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/rcas"
+)
+
+// Batch enqueue: the ingress combiner's applier for the queue family.
+//
+// Instead of one link CAS, one tail swing and one persist epoch per
+// enqueue, the combiner builds the whole batch as a private node chain
+// (bump allocation: one flush per node line, no fences), links the
+// chain into the queue with a single anonymous CAS on the last node's
+// link, swings the tail once, and closes with a single PersistEpoch —
+// two CASes and one fence for the entire batch.
+//
+// Crash atomicity comes from the Port's fence-before-CAS semantics: a
+// CAS drains the pending flush epoch before it executes, so by the
+// time the link CAS makes the chain reachable every node in it is
+// already durable. The link CAS itself is a single word: a crash
+// before the next drain either keeps it (whole batch present) or loses
+// it (whole batch absent, nodes leaked to the arena) — the batch is
+// never torn. The anonymous alias-packed CAS needs no recoverable-CAS
+// evidence because a crashed combiner abandons the batch rather than
+// resuming it, and ABA cannot occur: batched kinds never recycle
+// nodes, so link values are strictly fresh.
+
+// chainBatcher is implemented by every queue variant that embeds base;
+// the harness obtains the batch applier through the Queue value it
+// already holds.
+type chainBatcher interface {
+	batchBase() *base
+}
+
+func (b *base) batchBase() *base { return b }
+
+// BatchEnqueuer returns the batch-enqueue applier for q, executing on
+// behalf of capsule processes (the combiner). It panics if q is not a
+// transformed variant built over the shared base.
+func BatchEnqueuer(q Queue) func(c *capsule.Ctx, vals []uint64) {
+	cb, ok := q.(chainBatcher)
+	if !ok {
+		panic("pqueue: queue variant does not support batch enqueue")
+	}
+	b := cb.batchBase()
+	return b.batchEnqueue
+}
+
+// batchEnqueue applies vals as one chain; see the package comment
+// above for the protocol. Runs inside the combiner's capsule span; the
+// caller owns the span's Boundary.
+func (b *base) batchEnqueue(c *capsule.Ctx, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	pid := c.P().ID()
+	p := c.Mem()
+	h := b.h[pid]
+	alias := rcas.Alias(pid, b.P)
+
+	// 1. Allocate and chain the nodes privately. Bump allocation pays
+	// one (coalescing) flush of the allocator state per batch and one
+	// effective flush per node line; no fences.
+	if cap(h.chain) < len(vals) {
+		h.chain = make([]uint32, len(vals))
+	}
+	ns := h.chain[:len(vals)]
+	for i := range vals {
+		ns[i] = h.pa.Alloc(p, func(w uint64) uint32 { return uint32(rcas.Val(w)) })
+	}
+	for i, n := range ns {
+		p.Write(b.Arena.Val(n), vals[i])
+		next := uint64(0)
+		if i+1 < len(ns) {
+			next = uint64(ns[i+1])
+		}
+		rcas.InitCell(p, b.Arena.Next(n), next, alias, b.anonSeq(c))
+		// Value and link share the node's line; the second coalesces.
+		p.FlushAddrs(b.Arena.Val(n), b.Arena.Next(n))
+	}
+	first, last := ns[0], ns[len(ns)-1]
+
+	// 2. Link the chain: walk from the tail hint to the true last node
+	// and CAS the chain in. The CAS drains the pending epoch first, so
+	// the chain is durable before it becomes reachable.
+	t := p.Read(b.tail)
+	cur := uint32(rcas.Val(t))
+	var linkAddr pmem.Addr
+	for {
+		linkAddr = b.Arena.Next(cur)
+		nx := p.Read(linkAddr)
+		if rcas.Val(nx) != 0 {
+			cur = uint32(rcas.Val(nx))
+			continue
+		}
+		if p.CAS(linkAddr, nx, rcas.Pack(uint64(first), alias, b.anonSeq(c))) {
+			break
+		}
+		// Another shard's combiner linked here first; keep walking.
+	}
+
+	// 3. Publish the link and swing the tail. The swing CAS drains the
+	// link's flush — the tail never points at an unflushed link — and a
+	// lost swing (another combiner moved it further) is a tolerated lag
+	// the next batch's walk absorbs.
+	p.Flush(linkAddr)
+	t2 := p.Read(b.tail)
+	p.CAS(b.tail, t2, rcas.Pack(uint64(last), alias, b.anonSeq(c)))
+
+	// 4. The batch's durability point: one fence closes the epoch.
+	p.PersistEpoch(b.tail)
+}

@@ -59,6 +59,8 @@ type base struct {
 type handle struct {
 	pa      *qnode.PersistentAlloc
 	anonCtr uint64
+	// chain is the batch applier's reusable node-index buffer.
+	chain []uint32
 }
 
 // DummyNode is the arena index of the initial dummy node every queue

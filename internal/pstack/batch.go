@@ -1,0 +1,67 @@
+package pstack
+
+import (
+	"delayfree/internal/capsule"
+	"delayfree/internal/rcas"
+)
+
+// Batch push: the ingress combiner's applier for the stack family.
+//
+// The combiner builds the whole batch as a private chain (vals[0] at
+// the bottom, vals[len-1] the new top), links the bottom node to the
+// observed top, and swings the top cell with a single anonymous CAS —
+// the CAS drains the pending flush epoch first, so every node in the
+// chain is durable before it becomes reachable, and the single-word
+// top swing makes the batch atomic: a crash keeps either the old top
+// (batch absent, nodes leaked) or the new one (batch present), never a
+// torn prefix. One PersistEpoch on the top cell closes the batch.
+//
+// As with the queue's batch applier, the anonymous alias-packed CAS
+// needs no recoverable-CAS evidence (a crashed combiner abandons the
+// batch) and ABA cannot occur (batched kinds never recycle nodes).
+
+// BatchPusher returns the batch-push applier for s.
+func BatchPusher(s *Stack) func(c *capsule.Ctx, vals []uint64) {
+	return s.batchPush
+}
+
+func (s *Stack) batchPush(c *capsule.Ctx, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	pid := c.P().ID()
+	p := c.Mem()
+	alias := rcas.Alias(pid, s.nproc)
+
+	if cap(s.chain[pid]) < len(vals) {
+		s.chain[pid] = make([]uint32, len(vals))
+	}
+	ns := s.chain[pid][:len(vals)]
+	for i := range vals {
+		ns[i] = s.pa[pid].Alloc(p, func(w uint64) uint32 { return uint32(rcas.Val(w)) })
+	}
+	s.seqCtr[pid]++
+	seq := (c.Seq()*64 + s.seqCtr[pid]&63) & rcas.MaxSeq
+	// Intra-chain links and values; the bottom link is written per
+	// swing attempt below.
+	for i, n := range ns {
+		p.Write(s.arena.Val(n), vals[i])
+		if i > 0 {
+			rcas.InitCell(p, s.arena.Next(n), uint64(ns[i-1]), alias, seq)
+		}
+		p.FlushAddrs(s.arena.Val(n), s.arena.Next(n))
+	}
+	bottom, top := ns[0], ns[len(ns)-1]
+	for {
+		old := p.Read(s.top)
+		rcas.InitCell(p, s.arena.Next(bottom), rcas.Val(old), alias, seq)
+		p.Flush(s.arena.Next(bottom))
+		// Drains the chain's flushes before swinging: reachable implies
+		// durable.
+		if p.CAS(s.top, old, rcas.Pack(uint64(top), alias, seq)) {
+			break
+		}
+	}
+	// The batch's durability point.
+	p.PersistEpoch(s.top)
+}

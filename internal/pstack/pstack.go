@@ -29,6 +29,10 @@ type Stack struct {
 
 	top pmem.Addr // recoverable CAS cell, own line
 	pa  []*qnode.PersistentAlloc
+	// chain/seqCtr are the batch-push applier's per-process scratch
+	// (combiners on different shards push concurrently; see batch.go).
+	chain  [][]uint32
+	seqCtr []uint64
 
 	ops  capsule.RoutineID
 	push int // entry pc
@@ -72,6 +76,8 @@ func New(cfg Config) *Stack {
 	}
 	s.top = cfg.Mem.AllocLines(1)
 	s.pa = make([]*qnode.PersistentAlloc, cfg.P)
+	s.chain = make([][]uint32, cfg.P)
+	s.seqCtr = make([]uint64, cfg.P)
 	cfg.Space.SetDurable(cfg.Durable)
 	s.opt = cfg.Opt
 	return s

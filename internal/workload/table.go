@@ -42,13 +42,13 @@ func PrintTable(w io.Writer, title string, results []Result) {
 		fmt.Fprintln(w)
 	}
 	fmt.Fprintf(w, "per-operation costs at %d thread(s)\n", threads[0])
-	fmt.Fprintf(w, "%-24s %10s %12s %10s %10s %10s %10s %11s\n",
-		"kind", "flush/op", "eff-flush/op", "fence/op", "cas/op", "bound/op", "elided/op", "lines/drain")
+	fmt.Fprintf(w, "%-24s %10s %12s %10s %10s %10s %10s %11s %9s\n",
+		"kind", "flush/op", "eff-flush/op", "fence/op", "cas/op", "bound/op", "elided/op", "lines/drain", "avg-batch")
 	for _, k := range kinds {
 		r := byKind[k][threads[0]]
-		fmt.Fprintf(w, "%-24s %10.2f %12.2f %10.2f %10.2f %10.2f %10.2f %11.2f\n",
+		fmt.Fprintf(w, "%-24s %10.2f %12.2f %10.2f %10.2f %10.2f %10.2f %11.2f %9.1f\n",
 			k, r.FlushesPerOp(), r.EffFlushesPerOp(), r.FencesPerOp(),
-			r.CASesPerOp(), r.BoundariesPerOp(), r.ElidedBoundariesPerOp(), r.LinesPerDrain())
+			r.CASesPerOp(), r.BoundariesPerOp(), r.ElidedBoundariesPerOp(), r.LinesPerDrain(), r.AvgBatch())
 	}
 	fmt.Fprintln(w)
 }
@@ -76,6 +76,13 @@ type JSONResult struct {
 	BoundariesPerOp       float64 `json:"boundaries_per_op"`
 	ElidedBoundariesPerOp float64 `json:"elided_boundaries_per_op"`
 	LinesPerDrain         float64 `json:"lines_per_drain"`
+	// Batches/BatchedOps count ingress combiner batches and the
+	// operations they carried (zero for unbatched kinds); AvgBatch is
+	// their ratio — the achieved batch size, against which the 1/B
+	// fences_per_op amortization is read.
+	Batches    uint64  `json:"batches,omitempty"`
+	BatchedOps uint64  `json:"batched_ops,omitempty"`
+	AvgBatch   float64 `json:"avg_batch,omitempty"`
 }
 
 // JSONFigure groups the points of one figure.
@@ -113,6 +120,9 @@ func JSONReport(figures []string, results map[string][]Result) ([]byte, error) {
 				BoundariesPerOp:       r.BoundariesPerOp(),
 				ElidedBoundariesPerOp: r.ElidedBoundariesPerOp(),
 				LinesPerDrain:         r.LinesPerDrain(),
+				Batches:               r.Stats.Batches,
+				BatchedOps:            r.Stats.BatchedOps,
+				AvgBatch:              r.AvgBatch(),
 			})
 		}
 		report.Figures = append(report.Figures, fig)

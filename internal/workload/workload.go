@@ -147,6 +147,15 @@ func (r Result) FencesPerOp() float64 { return perOp(r.Stats.Fences, r.Ops) }
 // CASesPerOp returns CAS instructions per operation.
 func (r Result) CASesPerOp() float64 { return perOp(r.Stats.CASes, r.Ops) }
 
+// AvgBatch returns the mean operations per committed combiner batch
+// (ingress kinds), or 0 for kinds that do not batch.
+func (r Result) AvgBatch() float64 {
+	if r.Stats.Batches == 0 {
+		return 0
+	}
+	return float64(r.Stats.BatchedOps) / float64(r.Stats.Batches)
+}
+
 // BoundariesPerOp returns *persisted* capsule boundaries per operation:
 // terminal operations that committed frame state durably. Elided
 // boundaries (the capsule read-only tier) are reported separately.
