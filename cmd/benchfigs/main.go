@@ -36,6 +36,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"delayfree/internal/workload"
 	_ "delayfree/internal/workload/all"
@@ -49,6 +51,8 @@ func main() {
 	fenceDelay := flag.Int("fence-delay", 120, "simulated fence latency (spin iterations)")
 	jsonPath := flag.String("json", "", "write machine-readable results to this file")
 	reps := flag.Int("reps", 1, "sweep repetitions; each (kind, threads) point reports its best-of-N run")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the sweep to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof allocation profile (after the sweep) to this file")
 	list := flag.Bool("list", false, "list registered figures and kinds, then exit")
 
 	// Per-family tunables come from the registry.
@@ -92,6 +96,39 @@ func main() {
 	threads := make([]int, 0, *maxThreads)
 	for t := 1; t <= *maxThreads; t++ {
 		threads = append(threads, t)
+	}
+
+	// Profiling hooks: the CPU profile covers everything from here
+	// (i.e. the sweeps, not flag parsing); the allocation profile is a
+	// post-sweep heap snapshot with up-to-date allocation counters.
+	// See EXPERIMENTS.md, "Profiling the harness".
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // flush allocation counters into the profile
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
 	}
 
 	var figNames []string

@@ -161,6 +161,9 @@ type (
 	QueueConfig = pqueue.Config
 	// NodeArena is the cache-line node pool shared by the queues.
 	NodeArena = qnode.Arena
+	// PackedNodePool is a single-writer packed-line batch allocator
+	// attached to a NodeArena (one pool per batch combiner).
+	PackedNodePool = qnode.PackedPool
 	// MSQueue is the original (volatile) Michael–Scott queue.
 	MSQueue = msq.Queue
 	// LogQueue is the Friedman et al. durable detectable queue.
@@ -173,6 +176,18 @@ type (
 
 // NewNodeArena reserves a node arena.
 func NewNodeArena(mem *Memory, capacity uint32) *NodeArena { return qnode.NewArena(mem, capacity) }
+
+// NewPackedNodePool reserves a packed extent of nseg segments of
+// segNodes line-packed nodes each and attaches it to the arena. The
+// pool is single-writer: exactly one batch combiner may allocate from
+// it. Budget PackedPoolWords(segNodes, nseg) memory words for it.
+func NewPackedNodePool(mem *Memory, arena *NodeArena, segNodes, nseg uint32, nprocs int) *PackedNodePool {
+	return qnode.NewPackedPool(mem, arena, segNodes, nseg, nprocs)
+}
+
+// PackedPoolWords is the number of memory words NewPackedNodePool
+// with the same geometry will reserve.
+func PackedPoolWords(segNodes, nseg uint32) uint64 { return qnode.PackedWords(segNodes, nseg) }
 
 // NewGeneralQueue builds the Low-Computation-Delay Simulator queue
 // (Section 6); set cfg.Opt for the compact-frame General-Opt variant.
@@ -381,23 +396,27 @@ func RegisterBatchCombiner(reg *Registry, name string, pool *IngressPool, shard 
 // RegisterBatchProducer registers a producer routine that publishes
 // mk(attempt) for attempts attempts through the pool's rings under the
 // abandon protocol (exactly-once-or-never per operation across
-// crashes).
+// crashes). Attempt counters persist once per window of `window`
+// attempts (0 or 1 = one boundary per attempt); a crash abandons the
+// whole unacknowledged window.
 func RegisterBatchProducer(reg *Registry, name string, pool *IngressPool, pid int,
-	attempts uint64, mk func(attempt uint64) IngressAttempt) RoutineID {
-	return ingress.RegisterProducerDriver(reg, name, pool, pid, attempts, nil, mk, nil)
+	attempts, window uint64, mk func(attempt uint64) IngressAttempt) RoutineID {
+	return ingress.RegisterProducerDriver(reg, name, pool, pid, attempts, window, nil, mk, nil)
 }
 
 // BatchEnqueuer returns a combiner applier that enqueues a whole batch
 // as one privately-built chain committed by a single link CAS and made
 // durable by a single persist epoch (all-or-nothing under crashes).
-func BatchEnqueuer(q PersistentQueue) func(c *Ctx, vals []uint64) {
-	return pqueue.BatchEnqueuer(q)
+// Nodes come line-packed from npool, which must be private to this
+// combiner.
+func BatchEnqueuer(q PersistentQueue, npool *PackedNodePool) func(c *Ctx, vals []uint64) {
+	return pqueue.BatchEnqueuer(q, npool)
 }
 
 // BatchPusher is the stack equivalent of BatchEnqueuer: one chain, one
-// top CAS, one persist epoch.
-func BatchPusher(s *PersistentStack) func(c *Ctx, vals []uint64) {
-	return pstack.BatchPusher(s)
+// top CAS, one persist epoch, nodes line-packed from npool.
+func BatchPusher(s *PersistentStack, npool *PackedNodePool) func(c *Ctx, vals []uint64) {
+	return pstack.BatchPusher(s, npool)
 }
 
 // BatchMapApplier returns a combiner applier for recoverable-map

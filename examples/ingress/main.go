@@ -29,7 +29,10 @@ const (
 	jobsEach  = 120
 	batchMax  = 8
 	ringCap   = 64
-	arenaCap  = 4 * (producers*jobsEach + 512)
+	window    = 8 // producer persistence window: 2 boundaries per 8 jobs
+	arenaCap  = 64
+	segNodes  = 512
+	nsegs     = 4*(producers*jobsEach+512)/segNodes + 2
 )
 
 func jobID(pid int, attempt uint64) uint64 { return uint64(pid)<<32 | attempt }
@@ -45,16 +48,20 @@ func main() {
 	rt := delayfree.NewRuntime(mem, N)
 	rt.SystemCrashMode = true // all processors fail together
 
+	arena := delayfree.NewNodeArena(mem, arenaCap)
 	q := delayfree.NewGeneralQueue(delayfree.QueueConfig{
 		Mem:     mem,
 		Space:   delayfree.NewRCas(mem, N),
-		Arena:   delayfree.NewNodeArena(mem, arenaCap),
+		Arena:   arena,
 		P:       N,
 		Durable: true,
 		Opt:     true,
 	})
 	q.Init(rt.Proc(0).Mem(), delayfree.QueueDummyNode)
-	append_ := delayfree.BatchEnqueuer(q)
+	// The combiner's private node pool: jobs are packed 4 nodes per
+	// line, so a batch of 8 persists 2-3 chain lines instead of 8.
+	npool := delayfree.NewPackedNodePool(mem, arena, segNodes, nsegs, N)
+	append_ := delayfree.BatchEnqueuer(q, npool)
 
 	pool := delayfree.NewIngressPool(1, ringCap, batchMax, producers)
 	// A full-system crash destroys the volatile ring; in-flight jobs are
@@ -65,7 +72,7 @@ func main() {
 	bases := delayfree.AllocCapsuleAreas(mem, N)
 	for i := 0; i < producers; i++ {
 		pid := i
-		rid := delayfree.RegisterBatchProducer(reg, fmt.Sprintf("producer%d", pid), pool, pid, jobsEach,
+		rid := delayfree.RegisterBatchProducer(reg, fmt.Sprintf("producer%d", pid), pool, pid, jobsEach, window,
 			func(attempt uint64) delayfree.IngressAttempt {
 				return delayfree.IngressAttempt{
 					Rec: delayfree.IngressRecord{Op: delayfree.IngressOpEnqueue, A: jobID(pid, attempt)},
@@ -92,6 +99,7 @@ func main() {
 			return func(p *delayfree.Proc) {
 				if p.PeekCrashed() {
 					sh.Epoch.Add(1)
+					npool.Rollback() // the un-spliced batch died with the ring
 				}
 				delayfree.NewMachine(p, reg, bases[i]).Run()
 			}

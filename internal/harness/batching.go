@@ -109,6 +109,16 @@ func ringCapacity(batchMax int) int {
 	return c
 }
 
+// packedGeom sizes one combiner's packed pool: its share of the
+// producers' stream plus batch slack. The benchmarks never retire
+// nodes, so the pool must hold the whole share.
+func packedGeom(T int, perProducer uint64, shards, batchMax int) (segNodes, nseg uint32) {
+	perCombiner := uint64(T)*perProducer/uint64(shards) + uint64(batchMax) + 1024
+	segNodes = 4096
+	nseg = uint32(perCombiner/uint64(segNodes)) + 2
+	return
+}
+
 func runQueueBatched(cfg Config) Result {
 	shards, batchMax := batchGeom(cfg)
 	T := cfg.Threads
@@ -116,12 +126,15 @@ func runQueueBatched(cfg Config) Result {
 	seed := seedNodes(cfg)
 	perProducer := uint64(cfg.Pairs) * 2
 
-	// The arena splits into equal per-pid ranges and only the combiner
-	// pids allocate: size it so each combiner's range holds its whole
-	// share of the stream.
-	perCombiner := uint64(T)*perProducer/uint64(shards) + uint64(batchMax) + 1024
-	arenaCap := seed + 8 + uint32(uint64(P)*perCombiner)
-	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(P)*capsule.ProcWords + 1<<16
+	// Combiners allocate exclusively from per-combiner packed pools
+	// (qnode.PackedNodesPerLine nodes per line); the base arena holds
+	// only the dummy and the seeded contents. Sizing is exact per
+	// combiner — no per-pid range split multiplying the footprint.
+	segNodes, nseg := packedGeom(T, perProducer, shards, batchMax)
+	arenaCap := seed + 8
+	words := uint64(arenaCap+8)*pmem.WordsPerLine +
+		uint64(shards)*qnode.PackedWords(segNodes, nseg) +
+		uint64(P)*capsule.ProcWords + 1<<16
 	mem := pmem.New(pmem.Config{
 		Words:      words,
 		Mode:       pmem.Shared,
@@ -139,7 +152,6 @@ func runQueueBatched(cfg Config) Result {
 	if seed > 0 {
 		q.Seed(setup, pqueue.DummyNode+1, seed, func(i uint32) uint64 { return uint64(i) })
 	}
-	enqueue := pqueue.BatchEnqueuer(q)
 
 	pool := ingress.NewPool(shards, ringCapacity(batchMax), batchMax, T)
 	reg := capsule.NewRegistry()
@@ -147,6 +159,7 @@ func runQueueBatched(cfg Config) Result {
 	combiners := make([]capsule.RoutineID, shards)
 	for s := 0; s < shards; s++ {
 		vals := make([]uint64, batchMax)
+		enqueue := pqueue.BatchEnqueuer(q, qnode.NewPackedPool(mem, arena, segNodes, nseg, P))
 		combiners[s] = ingress.RegisterCombiner(reg, fmt.Sprintf("combine-q%d", s), pool, s,
 			func(c *capsule.Ctx, batch []ingress.Record) {
 				for i := range batch {
@@ -189,11 +202,12 @@ func runStackBatched(cfg Config) Result {
 	seed := uint32(cfg.Param("stack-seed"))
 	perProducer := uint64(cfg.Pairs) * 2
 
-	// See runQueueBatched: only combiner pids allocate from the evenly
-	// split arena, so each combiner's range must hold its whole share.
-	perCombiner := uint64(T)*perProducer/uint64(shards) + uint64(batchMax) + 1024
-	arenaCap := seed + 8 + uint32(uint64(P)*perCombiner)
-	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(P)*capsule.ProcWords + 1<<16
+	// See runQueueBatched: per-combiner packed pools, minimal base arena.
+	segNodes, nseg := packedGeom(T, perProducer, shards, batchMax)
+	arenaCap := seed + 8
+	words := uint64(arenaCap+8)*pmem.WordsPerLine +
+		uint64(shards)*qnode.PackedWords(segNodes, nseg) +
+		uint64(P)*capsule.ProcWords + 1<<16
 	mem := pmem.New(pmem.Config{
 		Words:      words,
 		Mode:       pmem.Shared,
@@ -211,7 +225,6 @@ func runStackBatched(cfg Config) Result {
 	if seed > 0 {
 		s.Seed(setup, 1, seed, func(i uint32) uint64 { return uint64(i) })
 	}
-	push := pstack.BatchPusher(s)
 
 	pool := ingress.NewPool(shards, ringCapacity(batchMax), batchMax, T)
 	reg := capsule.NewRegistry()
@@ -219,6 +232,7 @@ func runStackBatched(cfg Config) Result {
 	combiners := make([]capsule.RoutineID, shards)
 	for sh := 0; sh < shards; sh++ {
 		vals := make([]uint64, batchMax)
+		push := pstack.BatchPusher(s, qnode.NewPackedPool(mem, arena, segNodes, nseg, P))
 		combiners[sh] = ingress.RegisterCombiner(reg, fmt.Sprintf("combine-s%d", sh), pool, sh,
 			func(c *capsule.Ctx, batch []ingress.Record) {
 				for i := range batch {

@@ -92,22 +92,32 @@ func chainApplied(t *testing.T, residue, want []uint64) int {
 	return len(want)
 }
 
+// Tiny packed-pool geometry so one sweepBatch-node batch spans a
+// segment boundary: the sweep then also covers mid-batch segment
+// switches and the seal-at-commit path.
+const (
+	sweepSegNodes = 4
+	sweepNseg     = 4
+)
+
 func queueRig(mode pmem.Mode) *sweepRig {
 	const arenaCap = 64
-	words := uint64(arenaCap+8)*pmem.WordsPerLine + capsule.ProcWords + 1<<13
+	words := uint64(arenaCap+8)*pmem.WordsPerLine +
+		qnode.PackedWords(sweepSegNodes, sweepNseg) + capsule.ProcWords + 1<<13
 	mem := pmem.New(pmem.Config{Words: words, Mode: mode, Checked: true, Seed: 7})
 	rt := proc.NewRuntime(mem, 1)
 	rt.SystemCrashMode = mode == pmem.Shared
+	arena := qnode.NewArena(mem, arenaCap)
 	q := pqueue.NewGeneral(pqueue.Config{
 		Mem:     mem,
 		Space:   rcas.NewSpace(mem, 1),
-		Arena:   qnode.NewArena(mem, arenaCap),
+		Arena:   arena,
 		P:       1,
 		Durable: true,
 		Opt:     true,
 	})
 	q.Init(rt.Proc(0).Mem(), pqueue.DummyNode)
-	enqueue := pqueue.BatchEnqueuer(q)
+	enqueue := pqueue.BatchEnqueuer(q, qnode.NewPackedPool(mem, arena, sweepSegNodes, sweepNseg, 1))
 	recs := make([]ingress.Record, sweepBatch)
 	for i := range recs {
 		recs[i] = ingress.Record{Op: ingress.OpEnqueue, A: sweepVal(i)}
@@ -130,20 +140,22 @@ func queueRig(mode pmem.Mode) *sweepRig {
 
 func stackRig(mode pmem.Mode) *sweepRig {
 	const arenaCap = 64
-	words := uint64(arenaCap+8)*pmem.WordsPerLine + capsule.ProcWords + 1<<13
+	words := uint64(arenaCap+8)*pmem.WordsPerLine +
+		qnode.PackedWords(sweepSegNodes, sweepNseg) + capsule.ProcWords + 1<<13
 	mem := pmem.New(pmem.Config{Words: words, Mode: mode, Checked: true, Seed: 7})
 	rt := proc.NewRuntime(mem, 1)
 	rt.SystemCrashMode = mode == pmem.Shared
+	arena := qnode.NewArena(mem, arenaCap)
 	s := pstack.New(pstack.Config{
 		Mem:     mem,
 		Space:   rcas.NewSpace(mem, 1),
-		Arena:   qnode.NewArena(mem, arenaCap),
+		Arena:   arena,
 		P:       1,
 		Durable: true,
 		Opt:     true,
 	})
 	s.Init(rt.Proc(0).Mem(), 1)
-	push := pstack.BatchPusher(s)
+	push := pstack.BatchPusher(s, qnode.NewPackedPool(mem, arena, sweepSegNodes, sweepNseg, 1))
 	recs := make([]ingress.Record, sweepBatch)
 	for i := range recs {
 		recs[i] = ingress.Record{Op: ingress.OpPush, A: sweepVal(i)}

@@ -20,16 +20,28 @@ import (
 //     demands — its effect may be absent or present, but present at
 //     most once (the combiner applies a drained record exactly once or
 //     loses it with the ring).
-//   - The persisted attempt counter advances *before* the publish (its
-//     own capsule boundary), so a crash anywhere in the publish/wait
-//     span replays into a fresh attempt — the ambiguous one is left
-//     invoked-but-unreturned, never retried with the same value.
+//   - The persisted attempt counter advances *before* any publish, one
+//     boundary per window of W attempts rather than per attempt: pc0
+//     durably claims a whole window, pc1 publishes it sequentially and
+//     persists the return/abandon totals in one closing boundary. A
+//     crash anywhere in the publish/wait span replays into a fresh
+//     window — every claimed-but-unacknowledged attempt of the old one
+//     is abandoned wholesale (including any whose completion was
+//     observed but not yet persisted: undercounting returns is safe,
+//     the operations themselves are durable). This preserves
+//     exactly-once-or-never while cutting the producer's persistence
+//     traffic from two boundaries per operation to two per window.
 //   - Completion is observed through the per-attempt slot the combiner
 //     stores into strictly after its batch's durability point, so a
 //     recorded Return implies the operation is durable.
-//   - The shard epoch snapshot (persisted with the attempt) detects a
-//     combiner restart: the in-flight batch died with its volatile
-//     ring, so the producer abandons instead of waiting forever.
+//   - A shard-epoch snapshot taken immediately before each attempt's
+//     publish detects a combiner restart: the in-flight batch died
+//     with its volatile ring, so the producer abandons that attempt
+//     (and moves on to the next, which snapshots the new combiner's
+//     epoch) instead of waiting forever. The snapshot is volatile —
+//     the crashed path never consults it, because a replay abandons
+//     the whole window unconditionally — which also lets attempts in
+//     one window target different shards.
 //
 // Because abandoned attempts leave holes in the per-producer ID
 // sequence, the committed-count watermark contract of the
@@ -40,10 +52,10 @@ import (
 // stressers can read a finished producer's persisted accounting through
 // capsule.Machine.LoadState.
 const (
-	SlotIdx   = 1 // persisted attempt counter (advances before publish)
+	SlotIdx   = 1 // persisted attempt counter (advances a window before publish)
 	SlotRet   = 2 // completed (returned) operations
 	SlotAband = 3 // attempts abandoned at a crash or combiner restart
-	pdEpoch   = 4 // shard-epoch snapshot for the in-flight attempt
+	pdWin     = 4 // size of the claimed in-flight window
 )
 
 // Attempt describes one producer attempt: the destination shard, the
@@ -60,76 +72,98 @@ type Attempt struct {
 // for process pid: publish mk(attempt) records through the pool until
 // `attempts` operations have been attempted and keepGoing (if non-nil)
 // reports false, waiting out each attempt's completion and abandoning
-// it on any crash or combiner restart. mk must be deterministic in its
-// argument, and every attempt's Rec.A must be globally unique (the
-// conservation checkers key on it).
+// it on any crash or combiner restart. Attempt counters persist once
+// per window of `window` attempts (0 or 1 = the unwindowed protocol);
+// a crash abandons the whole unacknowledged window. mk must be
+// deterministic in its argument, and every attempt's Rec.A must be
+// globally unique (the conservation checkers key on it).
 func RegisterProducerDriver(reg *capsule.Registry, name string, pool *Pool, pid int,
-	attempts uint64, keepGoing func() bool, mk func(attempt uint64) Attempt,
+	attempts uint64, window uint64, keepGoing func() bool, mk func(attempt uint64) Attempt,
 	rec *history.Recorder) capsule.RoutineID {
+	if window == 0 {
+		window = 1
+	}
 	return reg.Register(name, false,
-		func(c *capsule.Ctx) { // pc0: claim the next attempt durably
+		func(c *capsule.Ctx) { // pc0: claim the next window of attempts durably
 			i := c.Local(SlotIdx)
 			if i >= attempts && (keepGoing == nil || !keepGoing()) {
 				c.Finish()
 				return
 			}
-			a := mk(i)
-			c.SetLocal(pdEpoch, pool.Shard(a.Shard).Epoch.Load())
-			c.SetLocal(SlotIdx, i+1)
+			w := window
+			if i < attempts && i+w > attempts && (keepGoing == nil || !keepGoing()) {
+				// Land exactly on `attempts` when the workload is about
+				// to stop; with keepGoing still true the full window is
+				// claimed (the stressers only require a lower bound).
+				w = attempts - i
+			}
+			c.SetLocal(pdWin, w)
+			c.SetLocal(SlotIdx, i+w)
 			c.Boundary(1)
 		},
-		func(c *capsule.Ctx) { // pc1: publish and wait, or abandon
-			i := c.Local(SlotIdx) - 1
+		func(c *capsule.Ctx) { // pc1: publish the window and wait, or abandon it
+			w := c.Local(pdWin)
 			if c.Crashed() {
-				// Replay after a crash inside this span: the attempt may
-				// or may not have been published, and if published it may
-				// or may not yet be durable. Republishing could apply it
-				// twice; waiting could wait forever. Abandon — the trace
-				// keeps it invoked-but-unreturned, excused as
+				// Replay after a crash inside this span: any attempt of
+				// the window may or may not have been published, and if
+				// published may or may not yet be durable. Republishing
+				// could apply one twice; waiting could wait forever.
+				// Abandon the whole window — the trace keeps each
+				// attempt invoked-but-unreturned, excused as
 				// absent-or-once.
-				c.SetLocal(SlotAband, c.Local(SlotAband)+1)
+				c.SetLocal(SlotAband, c.Local(SlotAband)+w)
 				c.Boundary(0)
 				return
 			}
-			a := mk(i)
-			sh := pool.Shard(a.Shard)
-			epoch := c.Local(pdEpoch)
-			token := i + 1
-			done := new(atomic.Uint64) // fresh slot: stale stores from older attempts land elsewhere
-			r := a.Rec
-			r.Pid = int32(pid)
-			r.Token = token
-			r.Done = done
-			rec.Invoke(pid, a.HOp, i, r.A, r.B, c.Mem().Stats)
-			for !sh.Ring.TryPublish(r) {
-				if sh.Epoch.Load() != epoch {
-					// Combiner restarted while the ring was full; nothing
-					// published yet, but the epoch snapshot is stale —
-					// abandon rather than guess at the new combiner's state.
-					c.SetLocal(SlotAband, c.Local(SlotAband)+1)
-					c.Boundary(0)
-					return
+			first := c.Local(SlotIdx) - w
+			var retd, aband uint64
+			for k := first; k < first+w; k++ {
+				a := mk(k)
+				sh := pool.Shard(a.Shard)
+				epoch := sh.Epoch.Load()
+				token := k + 1
+				done := new(atomic.Uint64) // fresh slot: stale stores from older attempts land elsewhere
+				r := a.Rec
+				r.Pid = int32(pid)
+				r.Token = token
+				r.Done = done
+				rec.Invoke(pid, a.HOp, k, r.A, r.B, c.Mem().Stats)
+				published := true
+				for !sh.Ring.TryPublish(r) {
+					if sh.Epoch.Load() != epoch {
+						// Combiner restarted while the ring was full;
+						// nothing published yet, but the epoch snapshot
+						// is stale — abandon this attempt rather than
+						// guess at the new combiner's state.
+						aband++
+						published = false
+						break
+					}
+					c.P().Step()
+					runtime.Gosched()
 				}
-				c.P().Step()
-				runtime.Gosched()
+				if !published {
+					continue
+				}
+				for {
+					if done.Load() == token {
+						// Stored strictly after the batch's durability
+						// point: the operation is durable, exactly once.
+						rec.Return(pid, a.HOp, k, true, 0, c.Mem().Stats)
+						retd++
+						break
+					}
+					if sh.Epoch.Load() != epoch {
+						aband++
+						break
+					}
+					c.P().Step()
+					runtime.Gosched()
+				}
 			}
-			for {
-				if done.Load() == token {
-					// Stored strictly after the batch's durability point:
-					// the operation is durable, exactly once.
-					rec.Return(pid, a.HOp, i, true, 0, c.Mem().Stats)
-					c.SetLocal(SlotRet, c.Local(SlotRet)+1)
-					c.Boundary(0)
-					return
-				}
-				if sh.Epoch.Load() != epoch {
-					c.SetLocal(SlotAband, c.Local(SlotAband)+1)
-					c.Boundary(0)
-					return
-				}
-				c.P().Step()
-				runtime.Gosched()
-			}
+			c.SetLocal(SlotRet, c.Local(SlotRet)+retd)
+			c.SetLocal(SlotAband, c.Local(SlotAband)+aband)
+			c.Boundary(0)
 		},
 	)
 }

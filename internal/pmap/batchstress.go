@@ -31,6 +31,10 @@ const (
 	batchedShards  = 1
 	batchedMax     = 8
 	batchedRingCap = 64
+	// batchedWindow is the producer drivers' attempt-persistence window:
+	// one durable claim and one durable return/abandon tally per 8
+	// attempts (a crash abandons the whole unacknowledged window).
+	batchedWindow = 8
 	batchedKeys    = 12 // distinct keys per producer
 	batchedBuckets = 256
 )
@@ -105,7 +109,7 @@ func batchedMapStress(cfg workload.StressConfig) (workload.StressReport, error) 
 	for i := 0; i < P; i++ {
 		pid := i
 		drv := ingress.RegisterProducerDriver(reg, fmt.Sprintf("pm-batched-prod%d", pid), pool, pid,
-			attempts, keepGoing,
+			attempts, batchedWindow, keepGoing,
 			func(attempt uint64) ingress.Attempt {
 				k := batchedKey(pid, attempt)
 				a := ingress.Attempt{Shard: RouteKey(k, batchedShards)}

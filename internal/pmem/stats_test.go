@@ -1,0 +1,53 @@
+package pmem
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Stats.Add and Stats.Sub enumerate every counter by hand; a field
+// added to Stats without extending both silently drops that counter
+// from aggregated runtime totals and from the before/after deltas the
+// stressers and benchmarks record. The reflection sweep below closes
+// that trap: it fills a Stats value with a distinct non-zero value per
+// field and checks both methods transform every field — no field list
+// to forget to update here.
+
+// filledStats assigns field i the value base*(i+1), so every field is
+// non-zero and no two fields collide.
+func filledStats(base uint64) Stats {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		v.Field(i).SetUint(base * uint64(i+1))
+	}
+	return s
+}
+
+func TestStatsAddSubCoverEveryField(t *testing.T) {
+	typ := reflect.TypeOf(Stats{})
+	for i := 0; i < typ.NumField(); i++ {
+		if typ.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats.%s is %s; the reflection sweep (and Add/Sub) assume uint64 counters",
+				typ.Field(i).Name, typ.Field(i).Type)
+		}
+	}
+
+	a, b := filledStats(100), filledStats(3)
+	sum := a
+	sum.Add(b)
+	diff := sum.Sub(a)
+
+	va, vb := reflect.ValueOf(a), reflect.ValueOf(b)
+	vsum, vdiff := reflect.ValueOf(sum), reflect.ValueOf(diff)
+	for i := 0; i < typ.NumField(); i++ {
+		name := typ.Field(i).Name
+		want := va.Field(i).Uint() + vb.Field(i).Uint()
+		if got := vsum.Field(i).Uint(); got != want {
+			t.Errorf("Add drops Stats.%s: got %d, want %d", name, got, want)
+		}
+		if got := vdiff.Field(i).Uint(); got != vb.Field(i).Uint() {
+			t.Errorf("Sub drops Stats.%s: got %d, want %d", name, got, vb.Field(i).Uint())
+		}
+	}
+}

@@ -3,6 +3,7 @@ package pqueue
 import (
 	"delayfree/internal/capsule"
 	"delayfree/internal/pmem"
+	"delayfree/internal/qnode"
 	"delayfree/internal/rcas"
 )
 
@@ -10,21 +11,38 @@ import (
 //
 // Instead of one link CAS, one tail swing and one persist epoch per
 // enqueue, the combiner builds the whole batch as a private node chain
-// (bump allocation: one flush per node line, no fences), links the
-// chain into the queue with a single anonymous CAS on the last node's
-// link, swings the tail once, and closes with a single PersistEpoch —
-// two CASes and one fence for the entire batch.
+// in its packed pool (volatile bump allocation, nodes packed
+// qnode.PackedNodesPerLine per line), persists it with one FlushRange
+// over exactly the lines the batch touched, links the chain into the
+// queue with a single anonymous CAS on the last node's link, swings
+// the tail once, and closes with a single PersistEpoch — two CASes,
+// one fence and ~len(vals)/k effective flushes for the entire batch.
 //
 // Crash atomicity comes from the Port's fence-before-CAS semantics: a
 // CAS drains the pending flush epoch before it executes, so by the
-// time the link CAS makes the chain reachable every node in it is
-// already durable. The link CAS itself is a single word: a crash
+// time the link CAS makes the chain reachable every packed line in it
+// is already durable. The link CAS itself is a single word: a crash
 // before the next drain either keeps it (whole batch present) or loses
-// it (whole batch absent, nodes leaked to the arena) — the batch is
-// never torn. The anonymous alias-packed CAS needs no recoverable-CAS
-// evidence because a crashed combiner abandons the batch rather than
-// resuming it, and ABA cannot occur: batched kinds never recycle
-// nodes, so link values are strictly fresh.
+// it (whole batch absent) — the batch is never torn. Packing several
+// nodes per line is sound precisely because the chain is single-writer
+// and private until that CAS: a pre-splice crash keeps only a per-line
+// prefix of the chain's writes (Section 9 same-line TSO), but nobody
+// can reach the torn nodes, and Rollback reclaims them on restart.
+//
+// The splice and swing go through Space.CasAnon, not a raw CAS: the
+// combiner itself needs no recovery evidence (a crashed combiner
+// abandons the batch rather than resuming it), but CasAnon also
+// *notifies* the previous owner of the cell it overwrites — and that
+// half is load-bearing. A dequeuer's recoverable CAS on the same cell
+// may have succeeded just before a crash; a raw CAS would destroy the
+// cell triple that is the dequeuer's only un-announced evidence, its
+// CheckRecovery would miss the applied operation, and it would re-
+// execute — a duplicated delivery. ABA freedom no longer rests on
+// "batched kinds never recycle": with pool recycling, link triples
+// stay unambiguous through (alias, seq) freshness — the same argument
+// the unbatched free list uses — plus the pool's contract that a slot
+// is reused only after its node's unlinking was durable and an epoch
+// guard has passed (see qnode.PackedPool).
 
 // chainBatcher is implemented by every queue variant that embeds base;
 // the harness obtains the batch applier through the Queue value it
@@ -35,22 +53,25 @@ type chainBatcher interface {
 
 func (b *base) batchBase() *base { return b }
 
-// BatchEnqueuer returns the batch-enqueue applier for q, executing on
-// behalf of capsule processes (the combiner). It panics if q is not a
-// transformed variant built over the shared base.
-func BatchEnqueuer(q Queue) func(c *capsule.Ctx, vals []uint64) {
+// BatchEnqueuer returns the batch-enqueue applier for q over pool,
+// executing on behalf of capsule processes (the combiner). Each
+// combiner needs its own pool: the pool's bump state is single-writer.
+// It panics if q is not a transformed variant built over the shared
+// base. The combiner's restart wrapper should call pool.Rollback to
+// reclaim a crashed batch's allocations.
+func BatchEnqueuer(q Queue, pool *qnode.PackedPool) func(c *capsule.Ctx, vals []uint64) {
 	cb, ok := q.(chainBatcher)
 	if !ok {
 		panic("pqueue: queue variant does not support batch enqueue")
 	}
 	b := cb.batchBase()
-	return b.batchEnqueue
+	return func(c *capsule.Ctx, vals []uint64) { b.batchEnqueue(c, pool, vals) }
 }
 
 // batchEnqueue applies vals as one chain; see the package comment
 // above for the protocol. Runs inside the combiner's capsule span; the
 // caller owns the span's Boundary.
-func (b *base) batchEnqueue(c *capsule.Ctx, vals []uint64) {
+func (b *base) batchEnqueue(c *capsule.Ctx, pool *qnode.PackedPool, vals []uint64) {
 	if len(vals) == 0 {
 		return
 	}
@@ -59,15 +80,16 @@ func (b *base) batchEnqueue(c *capsule.Ctx, vals []uint64) {
 	h := b.h[pid]
 	alias := rcas.Alias(pid, b.P)
 
-	// 1. Allocate and chain the nodes privately. Bump allocation pays
-	// one (coalescing) flush of the allocator state per batch and one
-	// effective flush per node line; no fences.
+	// 1. Allocate and chain the nodes privately. Packed bump allocation
+	// is pure host bookkeeping — no allocator flushes — and the chain's
+	// persistence is one FlushRange over the touched lines; no fences.
 	if cap(h.chain) < len(vals) {
 		h.chain = make([]uint32, len(vals))
 	}
 	ns := h.chain[:len(vals)]
+	pool.BeginBatch()
 	for i := range vals {
-		ns[i] = h.pa.Alloc(p, func(w uint64) uint32 { return uint32(rcas.Val(w)) })
+		ns[i] = pool.Alloc()
 	}
 	for i, n := range ns {
 		p.Write(b.Arena.Val(n), vals[i])
@@ -76,10 +98,14 @@ func (b *base) batchEnqueue(c *capsule.Ctx, vals []uint64) {
 			next = uint64(ns[i+1])
 		}
 		rcas.InitCell(p, b.Arena.Next(n), next, alias, b.anonSeq(c))
-		// Value and link share the node's line; the second coalesces.
-		p.FlushAddrs(b.Arena.Val(n), b.Arena.Next(n))
 	}
+	pool.FlushBatch(p)
 	first, last := ns[0], ns[len(ns)-1]
+
+	// The batch joins its segments' live counts before the splice: once
+	// the chain can be reachable it must never roll back. A crash in
+	// the window between here and the CAS leaks at most this batch.
+	pool.Commit()
 
 	// 2. Link the chain: walk from the tail hint to the true last node
 	// and CAS the chain in. The CAS drains the pending epoch first, so
@@ -94,7 +120,7 @@ func (b *base) batchEnqueue(c *capsule.Ctx, vals []uint64) {
 			cur = uint32(rcas.Val(nx))
 			continue
 		}
-		if p.CAS(linkAddr, nx, rcas.Pack(uint64(first), alias, b.anonSeq(c))) {
+		if b.Space.CasAnon(p, linkAddr, nx, uint64(first), b.anonSeq(c), pid) {
 			break
 		}
 		// Another shard's combiner linked here first; keep walking.
@@ -106,7 +132,7 @@ func (b *base) batchEnqueue(c *capsule.Ctx, vals []uint64) {
 	// the next batch's walk absorbs.
 	p.Flush(linkAddr)
 	t2 := p.Read(b.tail)
-	p.CAS(b.tail, t2, rcas.Pack(uint64(last), alias, b.anonSeq(c)))
+	b.Space.CasAnon(p, b.tail, t2, uint64(last), b.anonSeq(c), pid)
 
 	// 4. The batch's durability point: one fence closes the epoch.
 	p.PersistEpoch(b.tail)

@@ -40,6 +40,10 @@ const (
 	batchedShards  = 1
 	batchedMax     = 8
 	batchedRingCap = 64
+	// batchedWindow is the producer drivers' attempt-persistence window:
+	// one durable claim and one durable return/abandon tally per 8
+	// attempts (a crash abandons the whole unacknowledged window).
+	batchedWindow = 8
 )
 
 // batchedQueueStress runs one round; see the package comment above.
@@ -71,17 +75,24 @@ func batchedQueueStress(cfg workload.StressConfig) (workload.StressReport, error
 	if cfg.Shared {
 		mode = pmem.Shared
 	}
-	// Enqueue-only rounds never recycle nodes, and the quota keeps
-	// producers publishing until enough crashes land, so the arena must
+	// Enqueue-only rounds retire nothing, and the quota keeps producers
+	// publishing until enough crashes land, so the packed pools must
 	// absorb every operation the round can complete: empirically one per
 	// ~40 producer steps, so budget a generous maxGap/20 per producer
-	// per crash event, plus up to one leaked batch per combiner restart.
-	// Only the combiner pids allocate from the evenly split per-pid
-	// ranges, hence the factor N.
+	// per crash event. Abandoned batches are reclaimed by Rollback on
+	// combiner restart (only the Commit-to-splice window leaks), so no
+	// extra per-crash batch headroom is needed — but keep a little. The
+	// base arena holds just the dummy: combiners allocate exclusively
+	// from their packed pools, at 1/qnode.PackedNodesPerLine of the
+	// per-node line cost the old sizing paid.
 	perWave := uint64(maxGap)*uint64(P)/20 + batchedMax
 	totalNodes := uint64(P)*attempts + uint64(quota)*perWave
-	arenaCap := uint32(uint64(N)*totalNodes/batchedShards) + 8192
-	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(N)*capsule.ProcWords + 1<<15
+	const segNodes = 1024
+	nseg := uint32(totalNodes/(segNodes*batchedShards)) + 4
+	const arenaCap = 64
+	words := uint64(arenaCap+8)*pmem.WordsPerLine +
+		uint64(batchedShards)*qnode.PackedWords(segNodes, nseg) +
+		uint64(N)*capsule.ProcWords + 1<<15
 	mem := pmem.New(pmem.Config{
 		Words:   words,
 		Mode:    mode,
@@ -100,7 +111,10 @@ func batchedQueueStress(cfg workload.StressConfig) (workload.StressReport, error
 		Opt:     true,
 	})
 	q.Init(rt.Proc(0).Mem(), DummyNode) // empty: any pre-seeded value would be a residue phantom
-	enqueue := BatchEnqueuer(q)
+	npools := make([]*qnode.PackedPool, batchedShards)
+	for s := range npools {
+		npools[s] = qnode.NewPackedPool(mem, arena, segNodes, nseg, N)
+	}
 
 	crashEvents := func() uint64 {
 		if cfg.Shared {
@@ -131,7 +145,7 @@ func batchedQueueStress(cfg workload.StressConfig) (workload.StressReport, error
 	for i := 0; i < P; i++ {
 		pid := i
 		drv := ingress.RegisterProducerDriver(reg, fmt.Sprintf("pq-batched-prod%d", pid), pool, pid,
-			attempts, keepGoing,
+			attempts, batchedWindow, keepGoing,
 			func(attempt uint64) ingress.Attempt {
 				return ingress.Attempt{
 					Shard: 0,
@@ -143,6 +157,7 @@ func batchedQueueStress(cfg workload.StressConfig) (workload.StressReport, error
 	}
 	for s := 0; s < batchedShards; s++ {
 		vals := make([]uint64, batchedMax)
+		enqueue := BatchEnqueuer(q, npools[s])
 		comb := ingress.RegisterCombiner(reg, fmt.Sprintf("pq-batched-comb%d", s), pool, s,
 			func(c *capsule.Ctx, batch []ingress.Record) {
 				for i := range batch {
@@ -159,9 +174,13 @@ func batchedQueueStress(cfg workload.StressConfig) (workload.StressReport, error
 	rt.RunToCompletion(func(i int) proc.Program {
 		if i >= P { // combiner: a restart kills its in-flight batch
 			sh := pool.Shard(i - P)
+			npool := npools[i-P]
 			return func(p *proc.Proc) {
 				if p.PeekCrashed() {
 					sh.Epoch.Add(1)
+					// The un-spliced batch was abandoned with the ring:
+					// reclaim its packed allocations.
+					npool.Rollback()
 				}
 				capsule.NewMachine(p, reg, bases[i]).Run()
 			}

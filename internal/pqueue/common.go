@@ -131,12 +131,21 @@ func (b *base) alloc(c *capsule.Ctx, v uint64) uint32 {
 	return n
 }
 
-// free recycles a dequeued node onto the process's free list; safe to
-// repeat within a capsule (the allocator detects re-push, and the
-// sequence number — hence the link nonce — is deterministic across
-// repetitions).
+// free recycles a dequeued node: packed nodes return to their pool's
+// refcounted recycler (host-side; the dequeue's PersistEpoch already
+// made the removal durable, which is the pool's retire precondition),
+// everything else goes onto the process's free list. Safe to repeat
+// within a capsule (the pool suppresses the replay duplicate, the
+// allocator detects re-push, and the sequence number — hence the link
+// nonce — is deterministic across repetitions). Packed indices must
+// never reach the one-node-per-line free list: reallocating them
+// through the unbatched path would break the packed extent's
+// single-writer line discipline.
 func (b *base) free(c *capsule.Ctx, n uint32) {
 	pid := c.P().ID()
+	if b.Arena.Retire(pid, n) {
+		return
+	}
 	p := c.Mem()
 	fh := b.h[pid].pa.FreeHead(p)
 	if fh == n {

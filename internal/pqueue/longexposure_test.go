@@ -61,3 +61,38 @@ func TestQueueLatentViolationKnownIssue(t *testing.T) {
 		t.Logf("failing-history artifacts: %v", matches)
 	}
 }
+
+// TestQueueSeedSweep re-derives the failing-seed set the KnownIssue
+// test and the ROADMAP note cite. The lethal crash points drift
+// whenever unrelated code changes shift step counts, so the hardcoded
+// seed list above goes stale; run this sweep after any change that
+// touches the queue, rcas or capsule step sequences and refresh both
+// places from its output:
+//
+//	QUEUE_SEED_SWEEP=1 go test ./internal/pqueue -run SeedSweep -v
+//
+// It sweeps seeds 0..40 under the KnownIssue configuration (Procs 2,
+// Ops 20, shared model, full history audit) and prints the seeds whose
+// rounds violate durable linearizability. An empty failing set is the
+// signal that the latent violation has been fixed — at that point the
+// KnownIssue scaffolding and the ROADMAP open item should be retired.
+func TestQueueSeedSweep(t *testing.T) {
+	if os.Getenv("QUEUE_SEED_SWEEP") == "" {
+		t.Skip("seed-sweep helper; set QUEUE_SEED_SWEEP=1 to re-derive the failing-seed set (see ROADMAP.md)")
+	}
+	var failing []int64
+	for seed := int64(0); seed <= 40; seed++ {
+		_, err := CrashStress("general", func(cfg Config) Queue { return NewGeneral(cfg) },
+			workload.StressConfig{Procs: 2, Ops: 20, Seed: seed, Shared: true,
+				Audit: true, ArtifactDir: t.TempDir()})
+		if err != nil {
+			failing = append(failing, seed)
+			t.Logf("seed=%d FAILS: %v", seed, err)
+		}
+	}
+	if len(failing) == 0 {
+		t.Log("no failing seeds in 0..40: refresh KnownIssue and close the ROADMAP item")
+	} else {
+		t.Logf("failing seeds (procs=2, ops=20, shared): %v", failing)
+	}
+}

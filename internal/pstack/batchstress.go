@@ -27,6 +27,10 @@ const (
 	batchedShards  = 1
 	batchedMax     = 8
 	batchedRingCap = 64
+	// batchedWindow is the producer drivers' attempt-persistence window:
+	// one durable claim and one durable return/abandon tally per 8
+	// attempts (a crash abandons the whole unacknowledged window).
+	batchedWindow = 8
 )
 
 // batchedStackStress runs one round; see the package comment above.
@@ -58,13 +62,18 @@ func batchedStackStress(cfg workload.StressConfig) (workload.StressReport, error
 	if cfg.Shared {
 		mode = pmem.Shared
 	}
-	// Push-only rounds never recycle nodes; see pqueue/batchstress.go
-	// for the budget. Only the combiner pids allocate from the evenly
-	// split per-pid arena ranges, hence the factor N.
+	// Push-only rounds retire nothing; see pqueue/batchstress.go for
+	// the budget. Combiners allocate exclusively from their packed
+	// pools (Rollback reclaims abandoned batches on restart); the base
+	// arena stays minimal.
 	perWave := uint64(maxGap)*uint64(P)/20 + batchedMax
 	totalNodes := uint64(P)*attempts + uint64(quota)*perWave
-	arenaCap := uint32(uint64(N)*totalNodes/batchedShards) + 8192
-	words := uint64(arenaCap+8)*pmem.WordsPerLine + uint64(N)*capsule.ProcWords + 1<<15
+	const segNodes = 1024
+	nseg := uint32(totalNodes/(segNodes*batchedShards)) + 4
+	const arenaCap = 64
+	words := uint64(arenaCap+8)*pmem.WordsPerLine +
+		uint64(batchedShards)*qnode.PackedWords(segNodes, nseg) +
+		uint64(N)*capsule.ProcWords + 1<<15
 	mem := pmem.New(pmem.Config{
 		Words:   words,
 		Mode:    mode,
@@ -83,7 +92,10 @@ func batchedStackStress(cfg workload.StressConfig) (workload.StressReport, error
 		Opt:     true,
 	})
 	s.Init(rt.Proc(0).Mem(), 1) // empty: any pre-seeded value would be a residue phantom
-	push := BatchPusher(s)
+	npools := make([]*qnode.PackedPool, batchedShards)
+	for sh := range npools {
+		npools[sh] = qnode.NewPackedPool(mem, arena, segNodes, nseg, N)
+	}
 
 	crashEvents := func() uint64 {
 		if cfg.Shared {
@@ -111,7 +123,7 @@ func batchedStackStress(cfg workload.StressConfig) (workload.StressReport, error
 	for i := 0; i < P; i++ {
 		pid := i
 		drv := ingress.RegisterProducerDriver(reg, fmt.Sprintf("ps-batched-prod%d", pid), pool, pid,
-			attempts, keepGoing,
+			attempts, batchedWindow, keepGoing,
 			func(attempt uint64) ingress.Attempt {
 				return ingress.Attempt{
 					Shard: 0,
@@ -123,6 +135,7 @@ func batchedStackStress(cfg workload.StressConfig) (workload.StressReport, error
 	}
 	for sh := 0; sh < batchedShards; sh++ {
 		vals := make([]uint64, batchedMax)
+		push := BatchPusher(s, npools[sh])
 		comb := ingress.RegisterCombiner(reg, fmt.Sprintf("ps-batched-comb%d", sh), pool, sh,
 			func(c *capsule.Ctx, batch []ingress.Record) {
 				for i := range batch {
@@ -139,9 +152,13 @@ func batchedStackStress(cfg workload.StressConfig) (workload.StressReport, error
 	rt.RunToCompletion(func(i int) proc.Program {
 		if i >= P {
 			sh := pool.Shard(i - P)
+			npool := npools[i-P]
 			return func(p *proc.Proc) {
 				if p.PeekCrashed() {
 					sh.Epoch.Add(1)
+					// The un-spliced batch was abandoned with the ring:
+					// reclaim its packed allocations.
+					npool.Rollback()
 				}
 				capsule.NewMachine(p, reg, bases[i]).Run()
 			}

@@ -244,9 +244,16 @@ func (s *Stack) popExec(c *capsule.Ctx) {
 			p.PersistEpoch(s.top)
 		}
 		n := uint32(rcas.Val(top))
-		fh := s.pa[pid].FreeHead(p)
-		if fh != n {
-			s.pa[pid].Free(p, n, rcas.Pack(uint64(fh), rcas.Alias(pid, s.nproc), c.Seq()))
+		// Packed nodes return to their pool's refcounted recycler (the
+		// PersistEpoch above made the removal durable — the pool's
+		// retire precondition); others go onto the per-process free
+		// list. Packed indices must never reach that free list, which
+		// would reallocate them one-per-line.
+		if !s.arena.Retire(pid, n) {
+			fh := s.pa[pid].FreeHead(p)
+			if fh != n {
+				s.pa[pid].Free(p, n, rcas.Pack(uint64(fh), rcas.Alias(pid, s.nproc), c.Seq()))
+			}
 		}
 		c.Done(1, c.Local(sV))
 		return

@@ -1,0 +1,226 @@
+package pstack
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/history"
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+	"delayfree/internal/qnode"
+	"delayfree/internal/rcas"
+	"delayfree/internal/workload"
+)
+
+// Packed-segment recycling under crash stress: one combiner-style
+// pusher batch-pushes packed chains from a deliberately tiny-segment
+// pool while popper processes pop through the stack's normal capsule
+// routine — each pop retires its packed node back to the pool, so
+// sealed segments drain to zero and recycle into later batches while
+// crashes land everywhere (both failure models). This is the
+// Retire-driven half of the pool's reclamation story; the batched
+// stressers exercise the Rollback-driven half.
+//
+// Exactness is the full durable-linearizability audit: every push and
+// pop is recorded, a crashed batch is abandoned (its pushes stay
+// invoked-but-unreturned, excused as absent-or-once), and the LIFO
+// checker validates the popped history against the drained residue.
+// On top of that the round asserts the pool actually recycled —
+// otherwise the test would silently degenerate into the
+// never-recycle regime the batched stressers already cover.
+
+const (
+	recPoppers  = 3
+	recBatch    = 8
+	recSegNodes  = 16 // 2 batches per segment: recycling pressure
+	recNseg      = 96
+	recHighWater = 192 // max outstanding (pushed-not-popped) nodes
+	recTag       = uint64(1) << 32 // keep values disjoint from zero/indices
+)
+
+func recVal(b uint64, j int) uint64 { return recTag | b<<8 | uint64(j) }
+
+// Pusher locals: 1 = batches claimed (durable, claim-before-push),
+// 2 = batches abandoned to crashes. Popper locals: 1 = pop index,
+// 2 = consecutive empty pops, 3/4 = pop results.
+func runRecycleStress(t *testing.T, shared bool) {
+	const seed = 23
+	P := recPoppers
+	N := P + 1 // + the pusher
+	quota := uint64(60)
+	target := uint64(40) // minimum batches; pushing continues until quota
+	if testing.Short() {
+		quota = 25
+	}
+	mode := pmem.Private
+	if shared {
+		mode = pmem.Shared
+	}
+	const arenaCap = 64
+	words := uint64(arenaCap+8)*pmem.WordsPerLine +
+		qnode.PackedWords(recSegNodes, recNseg) +
+		uint64(N)*capsule.ProcWords + 1<<15
+	mem := pmem.New(pmem.Config{Words: words, Mode: mode, Checked: true, Seed: seed})
+	rt := proc.NewRuntime(mem, N)
+	rt.SystemCrashMode = shared
+	arena := qnode.NewArena(mem, arenaCap)
+	s := New(Config{
+		Mem:     mem,
+		Space:   rcas.NewSpace(mem, N),
+		Arena:   arena,
+		P:       N,
+		Durable: true,
+		Opt:     true,
+	})
+	reg := capsule.NewRegistry()
+	s.Register(reg)
+	s.Init(rt.Proc(0).Mem(), 1)
+	npool := qnode.NewPackedPool(mem, arena, recSegNodes, recNseg, N)
+	push := BatchPusher(s, npool)
+
+	crashEvents := func() uint64 {
+		if shared {
+			return rt.SystemCrashes()
+		}
+		var n uint64
+		for i := 0; i < N; i++ {
+			n += rt.Proc(i).Restarts()
+		}
+		return n
+	}
+	keepGoing := func() bool { return crashEvents() < quota }
+	rec := history.NewRecorder(N, history.StressCapacity(int(target)*recBatch*4, int(quota)))
+	rt.OnSystemCrash = func(uint64) { rec.Crash() }
+
+	var pusherDone atomic.Bool
+	var popped atomic.Uint64 // approximate (replay may double-count): throttling only
+	vals := make([]uint64, recBatch)
+	pushDrv := reg.Register("recycle-pusher", false,
+		func(c *capsule.Ctx) { // pc0: claim the next batch durably
+			b := c.Local(1)
+			if b >= target && !keepGoing() {
+				pusherDone.Store(true)
+				c.Finish()
+				return
+			}
+			// Volatile bump allocation makes batches far cheaper than
+			// pops, so an unthrottled pusher would outrun the poppers
+			// and exhaust the pool with live (un-retirable) depth. Hold
+			// pushing while roughly recHighWater nodes are outstanding.
+			for b*recBatch > popped.Load()+recHighWater && keepGoing() {
+				c.P().Step()
+				runtime.Gosched()
+			}
+			c.SetLocal(1, b+1)
+			c.Boundary(1)
+		},
+		func(c *capsule.Ctx) { // pc1: push the batch, or abandon a crashed one
+			if c.Crashed() {
+				// The batch may or may not have spliced before the crash
+				// (at most once, never torn); its pushes stay invoked-
+				// but-unreturned and the restart wrapper rolled back any
+				// un-spliced allocations.
+				c.SetLocal(2, c.Local(2)+1)
+				c.Boundary(0)
+				return
+			}
+			b := c.Local(1) - 1
+			pid := c.P().ID()
+			for j := range vals {
+				vals[j] = recVal(b, j)
+				rec.Invoke(pid, history.OpPush, b*recBatch+uint64(j), vals[j], 0, c.Mem().Stats)
+			}
+			push(c, vals)
+			for j := range vals {
+				// Recorded after the batch's PersistEpoch: durable.
+				rec.Return(pid, history.OpPush, b*recBatch+uint64(j), true, 0, c.Mem().Stats)
+			}
+			c.Boundary(0)
+		},
+	)
+	popDrv := reg.Register("recycle-popper", false,
+		func(c *capsule.Ctx) { // pc0: pop until the pusher is done and the stack drained
+			if pusherDone.Load() && c.Local(2) > 0 && !keepGoing() {
+				c.Finish()
+				return
+			}
+			rec.Invoke(c.P().ID(), history.OpPop, c.Local(1), 0, 0, c.Mem().Stats)
+			c.Call(s.Routine(), s.PopEntry(), 1, nil, []int{3, 4})
+		},
+		func(c *capsule.Ctx) { // pc1: account the pop
+			i := c.Local(1)
+			ok := c.Local(3) != 0
+			rec.Return(c.P().ID(), history.OpPop, i, ok, c.Local(4), c.Mem().Stats)
+			if ok {
+				popped.Add(1)
+				c.SetLocal(2, 0)
+			} else {
+				c.SetLocal(2, c.Local(2)+1)
+			}
+			c.SetLocal(1, i+1)
+			c.Boundary(0)
+		},
+	)
+
+	bases := capsule.AllocProcAreas(mem, N)
+	for i := 0; i < P; i++ {
+		capsule.Install(rt.Proc(i).Mem(), bases[i], reg, popDrv)
+	}
+	capsule.Install(rt.Proc(P).Mem(), bases[P], reg, pushDrv)
+
+	minGap := int64(600 + 50*N + 25*recBatch)
+	maxGap := 3 * minGap
+	for i := 0; i < N; i++ {
+		rt.Proc(i).AutoCrash(seed*31+int64(i), minGap, maxGap)
+	}
+	rt.RunToCompletion(func(i int) proc.Program {
+		if i == P { // the pusher: a restart abandons its in-flight batch
+			return func(p *proc.Proc) {
+				if p.PeekCrashed() {
+					rec.Restart(i)
+					npool.Rollback()
+				}
+				capsule.NewMachine(p, reg, bases[i]).Run()
+			}
+		}
+		return func(p *proc.Proc) {
+			if p.PeekCrashed() {
+				rec.Restart(i)
+			}
+			capsule.NewMachine(p, reg, bases[i]).Run()
+		}
+	})
+	for i := 0; i < N; i++ {
+		rt.Proc(i).Disarm()
+	}
+	rt.CrashSystem()
+
+	h := rec.History()
+	h.Final.Residue = s.Drain(rt.Proc(0).Mem())
+	meta := history.RunMeta{Stresser: "pstack-recycle", Family: "stack", Seed: seed, Shared: shared, Procs: N}
+	if err := workload.Audit(meta, t.TempDir(), h, nil, rt.TotalStats()); err != nil {
+		t.Fatalf("durable-linearizability audit failed: %v", err)
+	}
+
+	for i := 0; i < N; i++ {
+		depth, pc, _ := capsule.NewMachine(rt.Proc(i), reg, bases[i]).LoadState()
+		if depth != 0 || pc != capsule.PCDone {
+			t.Fatalf("proc %d did not finish: depth=%d pc=%d", i, depth, pc)
+		}
+	}
+	if got := crashEvents(); got < quota {
+		t.Fatalf("only %d crash events absorbed, want %d", got, quota)
+	}
+	if npool.Recycled() == 0 {
+		t.Fatal("pool never recycled a segment: the round did not exercise retire-driven reclamation")
+	}
+	t.Logf("shared=%v: %d batches committed, %d segments recycled, %d rollbacks, %d crash events",
+		shared, npool.Epoch(), npool.Recycled(), npool.RolledBack(), crashEvents())
+}
+
+func TestPackedRecyclingUnderCrashStress(t *testing.T) {
+	t.Run("private", func(t *testing.T) { runRecycleStress(t, false) })
+	t.Run("shared", func(t *testing.T) { runRecycleStress(t, true) })
+}

@@ -37,9 +37,23 @@ const (
 // bump cursor itself is volatile (Go-side): crashing between a bump and
 // first use of the node can only leak, never double-allocate, because
 // recovery re-seeds per-process allocators from disjoint ranges.
+//
+// Beyond the one-node-per-line base region, an Arena can carry packed
+// extents (see PackedPool): index ranges past cap whose nodes are
+// packed several per line. Addr/Val/Next resolve both uniformly, so
+// traversals and rcas operations never care which layout a node uses.
 type Arena struct {
 	base pmem.Addr
 	cap  uint32
+	ext  []packedExt // attached packed extents, fixed at setup time
+}
+
+// packedExt maps the node-index range [lo, hi) onto a packed pool's
+// contiguous storage: node i lives at base + (i-lo)*PackedNodeWords.
+type packedExt struct {
+	lo, hi uint32
+	base   pmem.Addr
+	pool   *PackedPool
 }
 
 // NewArena reserves capacity nodes (plus the reserved null node 0).
@@ -52,12 +66,55 @@ func NewArena(mem *pmem.Memory, capacity uint32) *Arena {
 // Cap returns the arena capacity in nodes, excluding the null node.
 func (a *Arena) Cap() uint32 { return a.cap - 1 }
 
-// Addr returns the address of node i's cache line.
+// Addr returns the address of node i's first word: its cache line in
+// the one-node-per-line base region, its packed slot in an attached
+// extent.
 func (a *Arena) Addr(i uint32) pmem.Addr {
-	if i == 0 || i >= a.cap {
-		panic(fmt.Sprintf("qnode: node index %d out of range (cap %d)", i, a.cap))
+	if i >= 1 && i < a.cap {
+		return a.base + pmem.Addr(i)*pmem.WordsPerLine
 	}
-	return a.base + pmem.Addr(i)*pmem.WordsPerLine
+	for k := range a.ext {
+		if e := &a.ext[k]; i >= e.lo && i < e.hi {
+			return e.base + pmem.Addr(i-e.lo)*PackedNodeWords
+		}
+	}
+	panic(fmt.Sprintf("qnode: node index %d out of range (cap %d, %d packed extents)", i, a.cap, len(a.ext)))
+}
+
+// extEnd returns the first node index past every attached extent.
+func (a *Arena) extEnd() uint32 {
+	end := a.cap
+	for k := range a.ext {
+		if a.ext[k].hi > end {
+			end = a.ext[k].hi
+		}
+	}
+	return end
+}
+
+// Retire routes a packed node back to its pool's refcounted recycler,
+// reporting whether i belonged to a packed extent (false: the caller
+// owns the node and should free it through its per-process allocator).
+// pid is the retiring process, used to suppress the one duplicate
+// retire a capsule repetition can issue (see PackedPool.Retire).
+func (a *Arena) Retire(pid int, i uint32) bool {
+	for k := range a.ext {
+		if e := &a.ext[k]; i >= e.lo && i < e.hi {
+			e.pool.Retire(pid, i)
+			return true
+		}
+	}
+	return false
+}
+
+// IsPacked reports whether node i lives in a packed extent.
+func (a *Arena) IsPacked(i uint32) bool {
+	for k := range a.ext {
+		if i >= a.ext[k].lo && i < a.ext[k].hi {
+			return true
+		}
+	}
+	return false
 }
 
 // Val returns the address of node i's value word.
