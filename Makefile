@@ -1,0 +1,20 @@
+# Convenience targets; CI runs the same commands (see .github/workflows/ci.yml).
+
+.PHONY: test lint race build
+
+build:
+	go build ./...
+
+test:
+	go build ./... && go test ./...
+
+# lint runs the persistence-discipline analyzers (internal/lint) through
+# the go vet driver, exactly as CI does. Equivalent one-liner:
+#   go build -o /tmp/persistlint ./cmd/persistlint && go vet -vettool=/tmp/persistlint ./...
+lint:
+	go build -o /tmp/persistlint ./cmd/persistlint
+	go vet -vettool=/tmp/persistlint ./...
+
+race:
+	go test -race -short ./...
+	go test -race -count=1 ./internal/history ./internal/ingress

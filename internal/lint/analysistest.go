@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// RunGolden loads testdata/src/<path> (GOPATH-style, relative to the
+// calling test's working directory) and checks analyzer a's diagnostics
+// against the fixture's want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//	p.CAS(q.tail, t, t+1) // want `raw pmem\.Port\.CAS`
+//
+// Each `// want` comment carries one or more backquoted regular
+// expressions; every diagnostic on that line must match one (in order),
+// and every want must be matched by exactly one diagnostic. Ignore
+// suppression runs before matching, so fixtures can also pin the
+// //lint:ignore mechanics.
+func RunGolden(t *testing.T, a *Analyzer, path string) {
+	t.Helper()
+	pkg, err := LoadGOPATHDir("testdata/src", path)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", path, err)
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, path, err)
+	}
+
+	wants := collectWants(t, pkg)
+
+	type key struct {
+		file string
+		line int
+	}
+	unmatched := make(map[key][]*want)
+	for i := range wants {
+		w := &wants[i]
+		k := key{w.pos.Filename, w.pos.Line}
+		unmatched[k] = append(unmatched[k], w)
+	}
+
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		matched := false
+		for _, w := range unmatched[k] {
+			if !w.matched && w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", d.Pos.Filename, d.Pos.Line, d.Message)
+		}
+	}
+	for i := range wants {
+		if !wants[i].matched {
+			t.Errorf("no diagnostic at %s:%d matching %q", wants[i].pos.Filename, wants[i].pos.Line, wants[i].re)
+		}
+	}
+}
+
+type want struct {
+	pos     token.Position
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRe = regexp.MustCompile("`([^`]+)`")
+
+func collectWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var wants []want
+	for _, f := range pkg.Files {
+		for _, g := range f.Comments {
+			for _, c := range g.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					if strings.HasPrefix(c.Text, "//want") || strings.Contains(c.Text, "// want`") {
+						t.Fatalf("%s: malformed want comment %q", pkg.Fset.Position(c.Pos()), c.Text)
+					}
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				body := c.Text[idx+len("// want "):]
+				ms := wantRe.FindAllStringSubmatch(body, -1)
+				if len(ms) == 0 {
+					t.Fatalf("%s: want comment carries no backquoted pattern: %q", pos, c.Text)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, m[1], err)
+					}
+					wants = append(wants, want{pos: pos, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// FormatDiagnostics renders diagnostics one per line for error output
+// and EXPERIMENTS.md records.
+func FormatDiagnostics(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		fmt.Fprintf(&b, "%s\n", d.String())
+	}
+	return b.String()
+}

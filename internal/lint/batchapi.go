@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// BatchAPI flags runs of two or more consecutive pmem.Port.Flush calls
+// on the same port: each Flush is a full line writeback on the modelled
+// hardware, and the port already exposes batched forms — FlushRange for
+// a contiguous span, FlushAddrs for scattered addresses — that coalesce
+// duplicate lines and cost one traversal of the pending set. Back-to-
+// back statement-level Flushes are exactly the shape the ingress and
+// batching PRs kept optimizing away by hand; this pins the discipline.
+//
+// The run heuristic is purely syntactic: consecutive expression
+// statements in one block, same receiver expression rendering. When
+// every address in the run shares a common base after stripping +/-
+// offsets (p.Flush(a); p.Flush(a+1)) the message suggests FlushRange;
+// otherwise FlushAddrs. A deliberate ordering point between two flushes
+// (rare, and always worth a comment anyway) is expressed with a
+// justified //lint:ignore.
+var BatchAPI = &Analyzer{
+	Name: "batchapi",
+	Doc:  "flags consecutive pmem.Port.Flush calls that should batch via FlushRange/FlushAddrs",
+	Run:  runBatchAPI,
+}
+
+func runBatchAPI(pass *Pass) error {
+	for _, fd := range funcDecls(pass) {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				scanFlushRuns(pass, n.List)
+			case *ast.CaseClause:
+				scanFlushRuns(pass, n.Body)
+			case *ast.CommClause:
+				scanFlushRuns(pass, n.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+type flushSite struct {
+	pos  token.Pos
+	arg  ast.Expr
+	recv string
+}
+
+func scanFlushRuns(pass *Pass, stmts []ast.Stmt) {
+	var run []flushSite
+	emit := func() {
+		if len(run) >= 2 {
+			reportFlushRun(pass, run)
+		}
+		run = nil
+	}
+	for _, s := range stmts {
+		site, ok := flushStmt(pass, s)
+		if !ok {
+			emit()
+			continue
+		}
+		if len(run) > 0 && run[0].recv != site.recv {
+			emit()
+		}
+		run = append(run, site)
+	}
+	emit()
+}
+
+// flushStmt recognizes `port.Flush(addr)` as a whole statement.
+func flushStmt(pass *Pass, s ast.Stmt) (flushSite, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return flushSite{}, false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return flushSite{}, false
+	}
+	if !isPortMethod(pass.TypesInfo, call, "Flush") {
+		return flushSite{}, false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return flushSite{}, false
+	}
+	return flushSite{pos: call.Pos(), arg: call.Args[0], recv: types.ExprString(sel.X)}, true
+}
+
+func reportFlushRun(pass *Pass, run []flushSite) {
+	base := types.ExprString(stripOffset(run[0].arg))
+	contiguous := true
+	for _, site := range run[1:] {
+		if types.ExprString(stripOffset(site.arg)) != base {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		pass.Reportf(run[0].pos,
+			"%d consecutive Flush calls on offsets of %s: one FlushRange covers the span, coalesces shared lines and walks the pending set once", len(run), base)
+	} else {
+		pass.Reportf(run[0].pos,
+			"%d consecutive Flush calls on the same port: one FlushAddrs call coalesces duplicate lines and walks the pending set once", len(run))
+	}
+}
+
+// stripOffset peels +/- offset arithmetic to the base address
+// expression: a+1, (a+k)-2 → a.
+func stripOffset(e ast.Expr) ast.Expr {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD || x.Op == token.SUB {
+				e = x.X
+				continue
+			}
+		}
+		return ast.Unparen(e)
+	}
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// FenceOrder checks that every announce site — a statement annotated
+// //persist:announce, or any call to a function whose declaration
+// carries that directive — is dominated on its path through the
+// enclosing function by a persist fence: pmem.Port.Fence, FlushFence,
+// PersistEpoch, or a same-package wrapper annotated //persist:fence.
+//
+// This is the PR 3 logqueue class: an announce write durably publishes
+// the operation it describes, so every store it summarizes must already
+// be persistent when the announce lands. Announce-before-fence is
+// invisible to crash-free tests and only surfaces under a crash seed
+// that cuts between the announce and the trailing flush — exactly the
+// ordering the durable-linearizability audit kept re-discovering.
+//
+// Dominance is approximated structurally: straight-line statements
+// thread a fenced flag; an if/else fences its join only when both
+// branches do; loops, switches and selects are conservative (their
+// bodies are checked with the entry state, and the join keeps the entry
+// state, since the body may not execute). The body of an
+// announce-annotated function is itself exempt — the raw epoch write
+// inside it is the announce implementation, and the discipline binds
+// its callers.
+var FenceOrder = &Analyzer{
+	Name: "fenceorder",
+	Doc:  "flags //persist:announce sites not dominated by Fence/FlushFence/PersistEpoch",
+	Run:  runFenceOrder,
+}
+
+func runFenceOrder(pass *Pass) error {
+	c := &fenceChecker{pass: pass}
+	for obj, fd := range funcDecls(pass) {
+		if pass.DeclDirective(obj, "persist:announce") {
+			continue
+		}
+		c.block(fd.Body.List, false)
+	}
+	return nil
+}
+
+type fenceChecker struct {
+	pass *Pass
+}
+
+// block checks a statement list entered with the given fenced state and
+// returns the state at its exit.
+func (c *fenceChecker) block(stmts []ast.Stmt, fenced bool) bool {
+	for _, s := range stmts {
+		fenced = c.stmt(s, fenced)
+	}
+	return fenced
+}
+
+func (c *fenceChecker) stmt(s ast.Stmt, fenced bool) bool {
+	if c.isAnnounce(s) && !fenced {
+		c.pass.Reportf(s.Pos(),
+			"announce site is not dominated by a fence: issue Fence/FlushFence/PersistEpoch on every path before durably publishing (a crash between this announce and a later flush re-exposes the un-persisted writes it summarizes)")
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return c.block(s.List, fenced)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, fenced)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			fenced = c.stmt(s.Init, fenced)
+		}
+		bodyOut := c.block(s.Body.List, fenced)
+		if s.Else != nil {
+			elseOut := c.stmt(s.Else, fenced)
+			return bodyOut && elseOut
+		}
+		// No else: the body may be skipped, so only the entry state
+		// survives the join.
+		return fenced
+	case *ast.ForStmt:
+		if s.Init != nil {
+			fenced = c.stmt(s.Init, fenced)
+		}
+		// First iteration sees the entry state; later iterations are not
+		// modeled (back-edge state is unknown), and the loop may run zero
+		// times, so the join keeps the entry state.
+		c.block(s.Body.List, fenced)
+		return fenced
+	case *ast.RangeStmt:
+		c.block(s.Body.List, fenced)
+		return fenced
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			fenced = c.stmt(s.Init, fenced)
+		}
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.block(cc.Body, fenced)
+			}
+		}
+		return fenced
+	case *ast.TypeSwitchStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CaseClause); ok {
+				c.block(cc.Body, fenced)
+			}
+		}
+		return fenced
+	case *ast.SelectStmt:
+		for _, cc := range s.Body.List {
+			if cc, ok := cc.(*ast.CommClause); ok {
+				c.block(cc.Body, fenced)
+			}
+		}
+		return fenced
+	default:
+		if c.containsFence(s) {
+			return true
+		}
+		return fenced
+	}
+}
+
+// isAnnounce reports whether s is an announce site: carries the
+// statement directive, or is a call statement to an announce-annotated
+// function.
+func (c *fenceChecker) isAnnounce(s ast.Stmt) bool {
+	if c.pass.NodeDirective(s, "persist:announce") {
+		return true
+	}
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	obj := calleeObj(c.pass.TypesInfo, call)
+	return obj != nil && c.pass.DeclDirective(obj, "persist:announce")
+}
+
+// containsFence reports whether a simple statement issues a dominating
+// fence anywhere in its expression tree.
+func (c *fenceChecker) containsFence(s ast.Stmt) bool {
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if isPortMethod(c.pass.TypesInfo, call, "Fence", "FlushFence", "PersistEpoch") {
+			found = true
+			return false
+		}
+		if obj := calleeObj(c.pass.TypesInfo, call); obj != nil && c.pass.DeclDirective(obj, "persist:fence") {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

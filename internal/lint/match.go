@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// The analyzers must recognize the repository's own packages both under
+// their real module paths (delayfree/internal/pmem) and under the flat
+// stub paths the golden-test fixtures use (pmem). Matching is therefore
+// by final path segment.
+
+// pkgIs reports whether p's import path ends in base.
+func pkgIs(p *types.Package, base string) bool {
+	if p == nil {
+		return false
+	}
+	path := p.Path()
+	return path == base || strings.HasSuffix(path, "/"+base)
+}
+
+// callee resolves the function or method a call expression invokes,
+// returning nil for conversions, builtins and indirect calls.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// calleeObj resolves the object a call's function expression names —
+// like callee, but also resolving same-package function values.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// recvTypeName returns the name of fn's receiver's named type ("" for
+// plain functions and unnamed receivers).
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
+	}
+	return named.Obj().Name()
+}
+
+// isMethodOn reports whether call invokes a method with one of the
+// given names on the named type typeName from a package whose path ends
+// in pkgBase. An empty typeName matches any receiver type (used for the
+// rcas CasSpace interface, whose implementations share method names).
+func isMethodOn(info *types.Info, call *ast.CallExpr, pkgBase, typeName string, names ...string) bool {
+	fn := callee(info, call)
+	if fn == nil || !pkgIs(fn.Pkg(), pkgBase) {
+		return false
+	}
+	rn := recvTypeName(fn)
+	if rn == "" {
+		// Interface method calls surface the interface's *types.Func,
+		// whose receiver is the interface type; resolve its name.
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := sig.Recv().Type().(*types.Named); ok {
+				rn = named.Obj().Name()
+			}
+		}
+	}
+	if typeName != "" && rn != typeName {
+		return false
+	}
+	if rn == "" {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isPortMethod reports whether call invokes pmem.Port.<one of names>.
+func isPortMethod(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	return isMethodOn(info, call, "pmem", "Port", names...)
+}
+
+// isPkgFunc reports whether call invokes the plain function pkgBase.name.
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgBase string, names ...string) bool {
+	fn := callee(info, call)
+	if fn == nil || !pkgIs(fn.Pkg(), pkgBase) {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return false
+	}
+	for _, n := range names {
+		if fn.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// walkStack walks root depth-first, calling fn with each node and the
+// stack of its ancestors (innermost last, root first). Returning false
+// from fn prunes the subtree.
+func walkStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			// Pruned: Inspect sends no matching nil, so don't push.
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// funcDecls returns every function declaration with a body in the pass,
+// keyed by its object.
+func funcDecls(pass *Pass) map[types.Object]*ast.FuncDecl {
+	out := make(map[types.Object]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := pass.TypesInfo.Defs[fd.Name]; obj != nil {
+					out[obj] = fd
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// PackedAccess enforces the packed-arena line discipline outside
+// internal/qnode: a node index handed out by qnode.PackedPool.Alloc (or
+// an extent base annotated //persist:packed-extent) must reach
+// persistent memory only through the arena accessors — Arena.Addr, Val,
+// Next, Retire — never through hand-rolled index arithmetic fed to raw
+// pmem.Port operations.
+//
+// The packing layout (which words of which line a node occupies, where
+// the link cell lives, how batches share lines) is owned by qnode and
+// has changed once already (the line-packed batch arenas PR); callers
+// that recompute base+idx*stride offsets themselves silently corrupt
+// neighbouring nodes the moment the layout shifts, and the corruption
+// only surfaces as a crash-recovery audit failure far from the write.
+// Addresses returned by the Arena accessors are sanctioned and stay
+// un-tainted, so Port calls on them (flushing a node's link cell,
+// persisting an epoch over accessor-derived addresses) pass clean.
+var PackedAccess = &Analyzer{
+	Name: "packedaccess",
+	Doc:  "flags raw pmem.Port access on packed-arena addresses computed outside the qnode accessors",
+	Run:  runPackedAccess,
+}
+
+func runPackedAccess(pass *Pass) error {
+	if pkgIs(pass.Pkg, "qnode") {
+		return nil
+	}
+	for _, fd := range funcDecls(pass) {
+		tt := newTainter(pass.TypesInfo, func(e ast.Expr) bool {
+			switch e := e.(type) {
+			case *ast.CallExpr:
+				if isMethodOn(pass.TypesInfo, e, "qnode", "PackedPool", "Alloc") {
+					return true
+				}
+				if obj := calleeObj(pass.TypesInfo, e); obj != nil && pass.DeclDirective(obj, "persist:packed-extent") {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil && pass.DeclDirective(obj, "persist:packed-extent") {
+					return true
+				}
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[e]; obj != nil && pass.DeclDirective(obj, "persist:packed-extent") {
+					return true
+				}
+			}
+			return false
+		})
+		tt.propagate(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Only address positions matter: node indices legitimately
+			// travel as *values* (links store successor indices), so
+			// Read/Write/CAS/Flush/FlushRange check their address
+			// argument and the variadic batch forms check every one.
+			var addrArgs []ast.Expr
+			switch {
+			case isPortMethod(pass.TypesInfo, call, "Read", "Write", "CAS", "Flush", "FlushRange"):
+				if len(call.Args) > 0 {
+					addrArgs = call.Args[:1]
+				}
+			case isPortMethod(pass.TypesInfo, call, "FlushAddrs", "PersistEpoch"):
+				addrArgs = call.Args
+			default:
+				return true
+			}
+			for _, arg := range addrArgs {
+				if tt.expr(arg) {
+					pass.Reportf(call.Pos(),
+						"raw pmem.Port.%s on a packed-arena address computed from a pool index: the node-to-line packing is owned by qnode and this arithmetic breaks when the layout changes; use Arena.Addr/Val/Next/Retire", callee(pass.TypesInfo, call).Name())
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

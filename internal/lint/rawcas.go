@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// RawCas flags raw pmem.Port.CAS / pmem.Port.Write calls whose address
+// argument flows from a declaration annotated //persist:rcas-managed —
+// outside internal/rcas itself, which implements the protocol.
+//
+// This is the exact CasAnon bug class: a recoverable-CAS cell's triple
+// ⟨val, pid, seq⟩ is the previous owner's only un-announced evidence
+// that its CAS succeeded. Overwriting it with a raw port CAS (instead
+// of Space.Cas/CasAnon, whose previous-owner notify is load-bearing)
+// destroys that evidence; the owner's CheckRecovery then misses its
+// applied operation and re-executes it — a duplicated delivery or lost
+// value under shared-model crashes. PR 2 found this on the rcas
+// evidence path, PR 8 re-found it in both batch appliers' splice/swing
+// CASes; this analyzer would have rejected both pre-merge (see
+// testdata/src/rawcas's reconstruction of the PR 8 splice).
+//
+// Raw writes are flagged for the same reason: a plain Port.Write on a
+// managed cell replaces the triple with an unmanaged value, destroying
+// evidence without even a success check. Initialization of still-
+// private cells goes through rcas.InitCell; quiescent setup writes that
+// predate concurrency carry a justified //lint:ignore.
+var RawCas = &Analyzer{
+	Name: "rawcas",
+	Doc:  "flags raw pmem.Port.CAS/Write on rcas-managed words (use rcas Space.Cas/CasAnon)",
+	Run:  runRawCas,
+}
+
+func runRawCas(pass *Pass) error {
+	if pkgIs(pass.Pkg, "rcas") {
+		return nil
+	}
+	for _, fd := range funcDecls(pass) {
+		tt := newTainter(pass.TypesInfo, func(e ast.Expr) bool {
+			switch e := e.(type) {
+			case *ast.SelectorExpr:
+				if obj := pass.TypesInfo.Uses[e.Sel]; obj != nil && pass.DeclDirective(obj, "persist:rcas-managed") {
+					return true
+				}
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[e]; obj != nil && pass.DeclDirective(obj, "persist:rcas-managed") {
+					return true
+				}
+			case *ast.CallExpr:
+				if obj := calleeObj(pass.TypesInfo, e); obj != nil && pass.DeclDirective(obj, "persist:rcas-managed") {
+					return true
+				}
+			}
+			return false
+		})
+		tt.propagate(fd.Body)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			var op string
+			switch {
+			case isPortMethod(pass.TypesInfo, call, "CAS"):
+				op = "CAS"
+			case isPortMethod(pass.TypesInfo, call, "Write"):
+				op = "Write"
+			default:
+				return true
+			}
+			if tt.expr(call.Args[0]) {
+				pass.Reportf(call.Pos(),
+					"raw pmem.Port.%s on an rcas-managed word: this destroys a concurrent process's un-announced recoverable-CAS evidence; go through rcas Space.Cas/CasAnon (or rcas.InitCell while the word is private)", op)
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// tainter is the local dataflow helper shared by rawcas and
+// packedaccess: it tracks, within one function body, which objects hold
+// values derived from a seed expression (an annotated address producer,
+// a packed-pool allocation, ...).
+//
+// Propagation is deliberately simple — assignments, short variable
+// declarations, range statements, index expressions, conversions,
+// address arithmetic — matching how this repository actually moves
+// addresses and node indices around. It walks statements in lexical
+// order, which approximates program order closely enough for lint (a
+// value assigned on line N is visible to uses on later lines, including
+// later loop iterations of enclosing for statements, because the
+// assignment is seen before the analyzer's second pass over uses).
+type tainter struct {
+	info *types.Info
+	// seed reports whether e is a taint source by itself, before any
+	// propagation (e.g. a call to an annotated producer).
+	seed    func(e ast.Expr) bool
+	tainted map[types.Object]bool
+}
+
+func newTainter(info *types.Info, seed func(e ast.Expr) bool) *tainter {
+	return &tainter{info: info, seed: seed, tainted: make(map[types.Object]bool)}
+}
+
+// expr reports whether e carries taint.
+func (t *tainter) expr(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := t.info.Uses[e]; obj != nil && t.tainted[obj] {
+			return true
+		}
+	case *ast.ParenExpr:
+		if t.expr(e.X) {
+			return true
+		}
+	case *ast.BinaryExpr:
+		// Address/index arithmetic keeps the taint: base+off still
+		// addresses the managed region.
+		if t.expr(e.X) || t.expr(e.Y) {
+			return true
+		}
+	case *ast.IndexExpr:
+		// ns[i] is tainted when the slice ns is.
+		if t.expr(e.X) {
+			return true
+		}
+	case *ast.SelectorExpr:
+		if obj := t.info.Uses[e.Sel]; obj != nil && t.tainted[obj] {
+			return true
+		}
+	case *ast.CallExpr:
+		// Conversions propagate (uint64(n), pmem.Addr(n)); other calls
+		// only taint through seed below.
+		if len(e.Args) == 1 {
+			if tn, ok := t.info.Uses[calleeIdent(e)].(*types.TypeName); ok && tn != nil {
+				if t.expr(e.Args[0]) {
+					return true
+				}
+			}
+		}
+	}
+	return t.seed(e)
+}
+
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+// markLHS taints the object behind an assignment target.
+func (t *tainter) markLHS(lhs ast.Expr) {
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		if obj := t.info.Defs[lhs]; obj != nil {
+			t.tainted[obj] = true
+			return
+		}
+		if obj := t.info.Uses[lhs]; obj != nil {
+			t.tainted[obj] = true
+		}
+	case *ast.IndexExpr:
+		// ns[i] = tainted ⇒ the whole slice is treated as tainted.
+		t.markLHS(lhs.X)
+	case *ast.SelectorExpr:
+		if obj := t.info.Uses[lhs.Sel]; obj != nil {
+			t.tainted[obj] = true
+		}
+	case *ast.ParenExpr:
+		t.markLHS(lhs.X)
+	}
+}
+
+// propagate runs the dataflow over body until no new object is tainted
+// (bounded by the number of objects; in practice two passes).
+func (t *tainter) propagate(body *ast.BlockStmt) {
+	for {
+		before := len(t.tainted)
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						if t.expr(n.Rhs[i]) {
+							t.markLHS(n.Lhs[i])
+						}
+					}
+				} else if len(n.Rhs) == 1 && t.expr(n.Rhs[0]) {
+					// n, ok := seed() — conservatively taint every
+					// target (the stray bool is harmless: it never
+					// reaches an address position).
+					for _, lhs := range n.Lhs {
+						t.markLHS(lhs)
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Values {
+						if t.expr(n.Values[i]) {
+							if obj := t.info.Defs[n.Names[i]]; obj != nil {
+								t.tainted[obj] = true
+							}
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				// Ranging over a tainted slice of indices taints the
+				// element variable.
+				if n.Value != nil && t.expr(n.X) {
+					t.markLHS(n.Value)
+				}
+			}
+			return true
+		})
+		if len(t.tainted) == before {
+			return
+		}
+	}
+}

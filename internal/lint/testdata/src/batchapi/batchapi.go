@@ -1,0 +1,47 @@
+// Package batchapi exercises the flush-batching discipline: runs of
+// consecutive statement-level Flush calls on one port should collapse
+// into FlushRange (contiguous span) or FlushAddrs (scattered).
+package batchapi
+
+import "pmem"
+
+type s struct {
+	port *pmem.Port
+	head pmem.Addr
+	tail pmem.Addr
+}
+
+func (x *s) contiguous(a pmem.Addr) {
+	x.port.Flush(a) // want `3 consecutive Flush calls on offsets of a`
+	x.port.Flush(a + 1)
+	x.port.Flush(a + 2)
+	x.port.Fence()
+}
+
+func (x *s) scattered(a pmem.Addr) {
+	x.port.Flush(a) // want `2 consecutive Flush calls on the same port`
+	x.port.Flush(x.head)
+	x.port.Fence()
+}
+
+// separated flushes straddle an ordering point: not a run.
+func (x *s) separated(a pmem.Addr) {
+	x.port.Flush(a)
+	x.port.Fence()
+	x.port.Flush(a + 1)
+	x.port.Fence()
+}
+
+// differentPorts breaks the run: batching only holds per port.
+func (x *s) differentPorts(p2 *pmem.Port, a pmem.Addr) {
+	x.port.Flush(a)
+	p2.Flush(a + 1)
+}
+
+// ignored shows the sanctioned escape hatch for a deliberate ordering
+// point that the syntax cannot see.
+func (x *s) ignored(a pmem.Addr) {
+	//lint:ignore batchapi the head flush must retire before the tail address is recomputed
+	x.port.Flush(a)
+	x.port.Flush(x.tail)
+}

@@ -1,0 +1,90 @@
+// Package fenceorder exercises the fence-before-announce discipline
+// (the PR 3 logqueue class): a statement or function annotated
+// //persist:announce durably publishes earlier writes, so a fence must
+// dominate it on every path.
+package fenceorder
+
+import "pmem"
+
+type hist struct {
+	port *pmem.Port
+	head pmem.Addr
+}
+
+// announce durably publishes op in the history record. The directive on
+// the declaration makes every call site an announce site; the raw epoch
+// write inside the body is the announce implementation and is exempt.
+//
+//persist:announce
+func (h *hist) announce(op uint64) {
+	h.port.Write(h.head, op)
+}
+
+// drain is an intra-package fence wrapper.
+//
+//persist:fence
+func (h *hist) drain() {
+	h.port.FlushFence()
+}
+
+func (h *hist) enqueueGood(a, b pmem.Addr) {
+	h.port.Write(a, 1)
+	h.port.Write(b, 2)
+	h.port.PersistEpoch(a, b)
+	h.announce(1)
+}
+
+func (h *hist) enqueueBad(a pmem.Addr) {
+	h.port.Write(a, 1)
+	h.announce(1) // want `announce site is not dominated by a fence`
+}
+
+func (h *hist) bothBranchesFence(fast bool) {
+	if fast {
+		h.port.FlushFence()
+	} else {
+		h.port.Fence()
+	}
+	h.announce(2)
+}
+
+func (h *hist) oneBranchFences(fast bool) {
+	if fast {
+		h.port.Fence()
+	}
+	h.announce(3) // want `announce site is not dominated by a fence`
+}
+
+func (h *hist) viaWrapper() {
+	h.drain()
+	h.announce(4)
+}
+
+func (h *hist) stmtDirectiveGood(a pmem.Addr) {
+	h.port.Write(a, 7)
+	h.port.PersistEpoch(a)
+	//persist:announce
+	h.port.Write(h.head, 7)
+}
+
+func (h *hist) stmtDirectiveBad(a pmem.Addr) {
+	h.port.Write(a, 9)
+	//persist:announce
+	h.port.Write(h.head, 9) // want `announce site is not dominated by a fence`
+}
+
+// dequeueIgnored mirrors logqueue.Dequeue: a dequeue announcement
+// summarizes no prior writes, so the missing fence is justified.
+func (h *hist) dequeueIgnored() {
+	//lint:ignore fenceorder a dequeue announcement commits no prior writes
+	h.announce(5)
+}
+
+// loops are conservative: a fence issued only inside the loop does not
+// dominate an announce after it (the loop may run zero times).
+func (h *hist) fenceInLoop(n int) {
+	for i := 0; i < n; i++ {
+		h.port.FlushFence()
+	}
+	h.announce(6) // want `announce site is not dominated by a fence`
+}

@@ -1,0 +1,26 @@
+// Package lintdirective exercises //lint:ignore hygiene: an ignore
+// without a justification suppresses nothing and is itself reported,
+// as is an ignore naming an unknown analyzer. Checked by a dedicated
+// unit test (not RunGolden) because the diagnostics land on the ignore
+// comments themselves.
+package lintdirective
+
+import "pmem"
+
+func missingJustification(p *pmem.Port, a pmem.Addr) {
+	//lint:ignore batchapi
+	p.Flush(a)
+	p.Flush(a + 1)
+}
+
+func unknownAnalyzer(p *pmem.Port, a pmem.Addr) {
+	//lint:ignore nosuchanalyzer the analyzer list must name real analyzers
+	p.Flush(a)
+	p.Flush(a + 1)
+}
+
+func properlyIgnored(p *pmem.Port, a pmem.Addr) {
+	//lint:ignore batchapi these two lines are an ordering point in the fixture
+	p.Flush(a)
+	p.Flush(a + 1)
+}

@@ -1,0 +1,54 @@
+// Package packedaccess exercises the packed-arena line discipline:
+// node indices from qnode.PackedPool.Alloc (and raw extent bases
+// annotated //persist:packed-extent) reach persistent memory only
+// through the Arena accessors, never through hand-rolled offset
+// arithmetic fed to the raw port.
+package packedaccess
+
+import (
+	"pmem"
+	"qnode"
+)
+
+const nodeStride = 4
+
+type q struct {
+	port  *pmem.Port
+	pool  *qnode.PackedPool
+	arena *qnode.Arena
+	//persist:packed-extent
+	extent pmem.Addr
+}
+
+// rawAccess recomputes the packing layout by hand — exactly what broke
+// when the arenas went line-packed.
+func (x *q) rawAccess() {
+	n, ok := x.pool.Alloc()
+	if !ok {
+		return
+	}
+	a := x.extent + pmem.Addr(n)*nodeStride
+	x.port.Write(a, 1)                               // want `raw pmem\.Port\.Write on a packed-arena address`
+	x.port.Flush(x.extent + pmem.Addr(n)*nodeStride) // want `raw pmem\.Port\.Flush on a packed-arena address`
+}
+
+func (x *q) rawRead() uint64 {
+	n, _ := x.pool.Alloc()
+	return x.port.Read(x.extent + pmem.Addr(n)) // want `raw pmem\.Port\.Read on a packed-arena address`
+}
+
+// accessorAccess is the sanctioned shape: the arena owns the packing,
+// and port operations on accessor-derived addresses pass clean.
+func (x *q) accessorAccess() {
+	n, _ := x.pool.Alloc()
+	x.port.Write(x.arena.Val(n), 1)
+	x.port.Flush(x.arena.Next(n))
+	x.port.PersistEpoch(x.arena.Addr(n))
+	x.arena.Retire(n)
+}
+
+// unrelated addresses keep full raw-port access.
+func unrelated(p *pmem.Port, scratch pmem.Addr) {
+	p.Write(scratch+nodeStride, 1)
+	p.Flush(scratch)
+}

@@ -1,0 +1,22 @@
+// Package pmem is the golden-test stub of delayfree/internal/pmem: the
+// analyzers match packages by final import-path segment, so these
+// fixtures exercise the same method tables without importing the real
+// module (or any standard library — fixtures stay hermetic).
+package pmem
+
+type Addr uint64
+
+const WordsPerLine = 8
+
+type Port struct{ mem []uint64 }
+
+func (p *Port) Read(a Addr) uint64               { return p.mem[a] }
+func (p *Port) Write(a Addr, v uint64)           { p.mem[a] = v }
+func (p *Port) CAS(a Addr, old, new uint64) bool { return p.mem[a] == old }
+func (p *Port) Flush(a Addr)                     {}
+func (p *Port) FlushRange(a Addr, words int)     {}
+func (p *Port) FlushAddrs(addrs ...Addr)         {}
+func (p *Port) FlushFence()                      {}
+func (p *Port) PersistEpoch(addrs ...Addr)       {}
+func (p *Port) Fence()                           {}
+func (p *Port) HasUnfencedFlush() bool           { return false }

@@ -1,0 +1,20 @@
+// Package qnode is the golden-test stub of delayfree/internal/qnode.
+package qnode
+
+import "pmem"
+
+type PackedPool struct{ next uint32 }
+
+func (p *PackedPool) Alloc() (uint32, bool) { p.next++; return p.next, true }
+func (p *PackedPool) BeginBatch()           {}
+func (p *PackedPool) Commit()               {}
+func (p *PackedPool) Rollback()             {}
+func (p *PackedPool) FlushBatch()           {}
+func (p *PackedPool) Retire(n uint32)       {}
+
+type Arena struct{ base pmem.Addr }
+
+func (a *Arena) Addr(n uint32) pmem.Addr { return a.base + pmem.Addr(n) }
+func (a *Arena) Val(n uint32) pmem.Addr  { return a.base + pmem.Addr(n) }
+func (a *Arena) Next(n uint32) pmem.Addr { return a.base + pmem.Addr(n) }
+func (a *Arena) Retire(n uint32)         {}

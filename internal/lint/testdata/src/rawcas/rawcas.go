@@ -1,0 +1,101 @@
+// Package rawcas reconstructs the PR 8 batch-applier bug for the
+// rawcas analyzer: the combiner's splice and tail-swing CASes were
+// written against the raw pmem port instead of Space.CasAnon. The
+// combiner itself needs no recovery evidence, which is why the bug read
+// plausibly — but a dequeuer's recoverable CAS on the same cell may
+// have succeeded just before a crash, and the raw CAS destroys the cell
+// triple that is the dequeuer's only un-announced evidence; its
+// CheckRecovery misses the applied operation and re-executes it. The
+// spliceRaw function below is that bug, line for line; spliceManaged is
+// the shipped fix.
+package rawcas
+
+import (
+	"pmem"
+	"rcas"
+)
+
+type base struct {
+	port  *pmem.Port
+	Space *rcas.Space
+	//persist:rcas-managed
+	head pmem.Addr
+	//persist:rcas-managed
+	tail pmem.Addr
+}
+
+// link returns the address of node n's link cell. Link cells hold rcas
+// triples, so every address this produces is managed.
+//
+//persist:rcas-managed
+func (b *base) link(n uint32) pmem.Addr {
+	return pmem.Addr(n) * pmem.WordsPerLine
+}
+
+// spliceRaw is the PR 8 regression: walk to the true last node, then
+// splice with a raw CAS and swing the tail with another.
+func (b *base) spliceRaw(first, last uint32, pid uint64) {
+	p := b.port
+	t := p.Read(b.tail)
+	cur := uint32(t)
+	var linkAddr pmem.Addr
+	for {
+		linkAddr = b.link(cur)
+		nx := p.Read(linkAddr)
+		if nx != 0 {
+			cur = uint32(nx)
+			continue
+		}
+		if p.CAS(linkAddr, nx, uint64(first)) { // want `raw pmem\.Port\.CAS on an rcas-managed word`
+			break
+		}
+	}
+	p.Flush(linkAddr)
+	t2 := p.Read(b.tail)
+	p.CAS(b.tail, t2, uint64(last)) // want `raw pmem\.Port\.CAS on an rcas-managed word`
+	p.PersistEpoch(b.tail)
+}
+
+// spliceManaged is the shipped shape: both the splice and the swing go
+// through CasAnon, whose previous-owner notify preserves evidence.
+func (b *base) spliceManaged(first, last uint32, seq, pid uint64) {
+	p := b.port
+	t := p.Read(b.tail)
+	cur := uint32(t)
+	var linkAddr pmem.Addr
+	for {
+		linkAddr = b.link(cur)
+		nx := p.Read(linkAddr)
+		if nx != 0 {
+			cur = uint32(nx)
+			continue
+		}
+		if b.Space.CasAnon(p, linkAddr, nx, uint64(first), seq, pid) {
+			break
+		}
+	}
+	p.Flush(linkAddr)
+	t2 := p.Read(b.tail)
+	b.Space.CasAnon(p, b.tail, t2, uint64(last), seq, pid)
+	p.PersistEpoch(b.tail)
+}
+
+// rawWrite shows the Write half of the rule: replacing a managed triple
+// wholesale is flagged too.
+func (b *base) rawWrite(v uint64) {
+	b.port.Write(b.tail, v) // want `raw pmem\.Port\.Write on an rcas-managed word`
+}
+
+// seed is quiescent setup: the justified ignore is the sanctioned
+// escape hatch for writes that precede any concurrency.
+func (b *base) seed(v uint64) {
+	//lint:ignore rawcas quiescent setup write before any process attaches
+	b.port.Write(b.tail, rcas.Pack(v, 0))
+	b.port.PersistEpoch(b.tail)
+}
+
+// unmanaged addresses stay fair game for the raw port.
+func unmanaged(p *pmem.Port, scratch pmem.Addr) {
+	p.Write(scratch, 1)
+	p.CAS(scratch, 1, 2)
+}

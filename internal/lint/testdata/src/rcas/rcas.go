@@ -1,0 +1,20 @@
+// Package rcas is the golden-test stub of delayfree/internal/rcas.
+package rcas
+
+import "pmem"
+
+type Space struct{}
+
+func (s *Space) Cas(p *pmem.Port, a pmem.Addr, old, new, seq, pid uint64) bool {
+	return false
+}
+
+func (s *Space) CasAnon(p *pmem.Port, a pmem.Addr, old, new, seq, pid uint64) bool {
+	return false
+}
+
+func (s *Space) ReadFull(p *pmem.Port, a pmem.Addr) (uint64, uint64) { return 0, 0 }
+
+func InitCell(p *pmem.Port, a pmem.Addr, v uint64) {}
+
+func Pack(v, seq uint64) uint64 { return v | seq }

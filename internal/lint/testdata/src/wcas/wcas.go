@@ -1,0 +1,10 @@
+// Package wcas is the golden-test stub of delayfree/internal/wcas.
+package wcas
+
+import "pmem"
+
+type Handle struct{ p *pmem.Port }
+
+func (h *Handle) Write(a pmem.Addr, v uint64)           {}
+func (h *Handle) CAS(a pmem.Addr, old, new uint64) bool { return false }
+func (h *Handle) ReadVolatile(a pmem.Addr) uint64       { return 0 }

@@ -147,7 +147,13 @@ func (q *Queue) NewHandle(port *pmem.Port, pid int, lo, hi uint32) *Handle {
 func (h *Handle) Seq() uint64 { return h.seq }
 
 // announce persists the thread's log entry for a new operation in the
-// inactive ping-pong line, committing it with the epoch word.
+// inactive ping-pong line, committing it with the epoch word. A durable
+// announce is recovery's license to trust the node state it names, so
+// every call site must fence the writes it summarizes first — the
+// declaration directive makes persistlint's fenceorder hold call sites
+// to that.
+//
+//persist:announce
 func (h *Handle) announce(op uint64, node uint32) {
 	p, q := h.port, h.q
 	h.seq++
@@ -220,6 +226,7 @@ func (h *Handle) Enqueue(v uint64) {
 // head swing, by the claimant or by helpers.
 func (h *Handle) Dequeue() (v uint64, ok bool) {
 	p, q := h.port, h.q
+	//lint:ignore fenceorder a dequeue announcement summarizes no prior writes: the claim and return-value persists all happen after it
 	h.announce(OpDeq, 0)
 	ra := q.retAddr(h.pid)
 	for {

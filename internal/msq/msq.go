@@ -45,9 +45,7 @@ func New(mem *pmem.Memory, port *pmem.Port, arena *qnode.Arena, dummyIdx uint32)
 	port.Write(arena.Next(dummyIdx), packPtr(0, 0))
 	port.Write(q.head, packPtr(dummyIdx, 0))
 	port.Write(q.tail, packPtr(dummyIdx, 0))
-	port.Flush(arena.Next(dummyIdx))
-	port.Flush(q.head)
-	port.Flush(q.tail)
+	port.FlushAddrs(arena.Next(dummyIdx), q.head, q.tail)
 	port.Fence()
 	return q
 }

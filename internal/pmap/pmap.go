@@ -303,6 +303,12 @@ func (m *Map) find(pid int, k uint64, claim bool) (si int, bucket uint32, ok boo
 			if !claim {
 				return 0, 0, false
 			}
+			// The claim CAS is the probe tier's documented demotion
+			// point: read-only callers pass claim=false and return
+			// before it, and putProbe (the only claim=true caller)
+			// closes with BoundaryRO, which pays the full boundary
+			// persist once a claim can have fired.
+			//persist:ro-fallback
 			if h.CAS(keyObj(b), 0, k) {
 				return si, b, true
 			}

@@ -97,7 +97,7 @@ func (b *base) batchEnqueue(c *capsule.Ctx, pool *qnode.PackedPool, vals []uint6
 		if i+1 < len(ns) {
 			next = uint64(ns[i+1])
 		}
-		rcas.InitCell(p, b.Arena.Next(n), next, alias, b.anonSeq(c))
+		rcas.InitCell(p, b.link(n), next, alias, b.anonSeq(c))
 	}
 	pool.FlushBatch(p)
 	first, last := ns[0], ns[len(ns)-1]
@@ -114,7 +114,7 @@ func (b *base) batchEnqueue(c *capsule.Ctx, pool *qnode.PackedPool, vals []uint6
 	cur := uint32(rcas.Val(t))
 	var linkAddr pmem.Addr
 	for {
-		linkAddr = b.Arena.Next(cur)
+		linkAddr = b.link(cur)
 		nx := p.Read(linkAddr)
 		if rcas.Val(nx) != 0 {
 			cur = uint32(rcas.Val(nx))

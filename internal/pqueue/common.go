@@ -50,9 +50,22 @@ type Config struct {
 // queue cells, the node arena, and per-process allocators.
 type base struct {
 	Config
+	//persist:rcas-managed
 	head pmem.Addr // recoverable CAS cell, own line
+	//persist:rcas-managed
 	tail pmem.Addr // recoverable CAS cell, own line
 	h    []*handle
+}
+
+// link returns the address of node n's link cell. Link cells hold
+// recoverable-CAS triples — a raw port CAS or Write on one destroys a
+// concurrent process's un-announced evidence (the PR 8 splice bug), so
+// the declaration is marked for persistlint's rawcas and every link
+// address flows through here rather than through bare Arena.Next calls.
+//
+//persist:rcas-managed
+func (b *base) link(n uint32) pmem.Addr {
+	return b.Arena.Next(n)
 }
 
 // handle is per-process queue state.
@@ -83,10 +96,10 @@ func newBase(cfg Config) *base {
 // firstReserved indices (dummy + any pre-seeded nodes). Must run before
 // the processes start.
 func (b *base) Init(port *pmem.Port, firstReserved uint32) {
-	rcas.InitCell(port, b.Arena.Next(DummyNode), 0, rcas.Alias(0, b.P), 0)
+	rcas.InitCell(port, b.link(DummyNode), 0, rcas.Alias(0, b.P), 0)
 	rcas.InitCell(port, b.head, uint64(DummyNode), rcas.Alias(0, b.P), 0)
 	rcas.InitCell(port, b.tail, uint64(DummyNode), rcas.Alias(0, b.P), 0)
-	port.PersistEpoch(b.Arena.Next(DummyNode), b.head, b.tail)
+	port.PersistEpoch(b.link(DummyNode), b.head, b.tail)
 	for i := 0; i < b.P; i++ {
 		lo, hi := b.Arena.Range(i, b.P, firstReserved)
 		b.h[i] = &handle{pa: qnode.NewPersistentAlloc(b.Mem, port, b.Arena, lo, hi)}
@@ -102,11 +115,12 @@ func (b *base) Seed(port *pmem.Port, start, n uint32, gen func(i uint32) uint64)
 	for i := uint32(0); i < n; i++ {
 		node := start + i
 		port.Write(b.Arena.Val(node), gen(i))
-		rcas.InitCell(port, b.Arena.Next(node), 0, alias, uint64(i+1))
-		rcas.InitCell(port, b.Arena.Next(last), uint64(node), alias, uint64(i+1))
+		rcas.InitCell(port, b.link(node), 0, alias, uint64(i+1))
+		rcas.InitCell(port, b.link(last), uint64(node), alias, uint64(i+1))
 		last = node
 	}
 	t := port.Read(b.tail)
+	//lint:ignore rawcas quiescent setup before any process attaches: no concurrent CAS evidence can exist yet, and the seq bump keeps the triple fresh
 	port.Write(b.tail, rcas.Pack(uint64(last), alias, rcas.Seq(t)+1))
 	port.Flush(b.tail)
 	port.Fence()
@@ -121,11 +135,11 @@ func (b *base) alloc(c *capsule.Ctx, v uint64) uint32 {
 	p := c.Mem()
 	n := b.h[pid].pa.Alloc(p, func(w uint64) uint32 { return uint32(rcas.Val(w)) })
 	p.Write(b.Arena.Val(n), v)
-	rcas.InitCell(p, b.Arena.Next(n), 0, rcas.Alias(pid, b.P), c.Seq())
+	rcas.InitCell(p, b.link(n), 0, rcas.Alias(pid, b.P), c.Seq())
 	if b.Durable {
 		// Value and link share the node's line: the batch flush issues
 		// one per written word, and the second coalesces.
-		p.FlushAddrs(b.Arena.Val(n), b.Arena.Next(n))
+		p.FlushAddrs(b.Arena.Val(n), b.link(n))
 		b.maybeFence(p)
 	}
 	return n
@@ -194,7 +208,7 @@ func (b *base) Len(port *pmem.Port) int {
 	n := 0
 	i := uint32(rcas.Val(port.Read(b.head)))
 	for {
-		nx := uint32(rcas.Val(port.Read(b.Arena.Next(i))))
+		nx := uint32(rcas.Val(port.Read(b.link(i))))
 		if nx == 0 {
 			return n
 		}
@@ -209,7 +223,7 @@ func (b *base) Drain(port *pmem.Port) []uint64 {
 	var out []uint64
 	i := uint32(rcas.Val(port.Read(b.head)))
 	for {
-		nx := uint32(rcas.Val(port.Read(b.Arena.Next(i))))
+		nx := uint32(rcas.Val(port.Read(b.link(i))))
 		if nx == 0 {
 			return out
 		}

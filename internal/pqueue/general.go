@@ -80,7 +80,7 @@ func (g *General) DeqEntry() int { return gdRead }
 func (g *General) enqReadPhase(c *capsule.Ctx) {
 	p := c.Mem()
 	t := g.Space.ReadFull(p, g.tail)
-	nx := g.Space.ReadFull(p, g.Arena.Next(uint32(rcas.Val(t))))
+	nx := g.Space.ReadFull(p, g.link(uint32(rcas.Val(t))))
 	c.SetLocal(geT, t)
 	c.SetLocal(geNx, nx)
 	if rcas.Val(nx) == 0 {
@@ -102,7 +102,7 @@ func (g *General) enqLink(c *capsule.Ctx) {
 	seq := c.NextSeq()
 	t := c.Local(geT)
 	nx := c.Local(geNx)
-	link := g.Arena.Next(uint32(rcas.Val(t)))
+	link := g.link(uint32(rcas.Val(t)))
 	ok := false
 	if c.Crashed() {
 		ok = g.Space.CheckRecovery(p, link, seq, pid)
@@ -128,7 +128,7 @@ func (g *General) enqSwing(c *capsule.Ctx) {
 	nx := c.Local(geNx)
 	if g.Durable {
 		// Never let tail point at an unflushed link.
-		p.Flush(g.Arena.Next(uint32(rcas.Val(t))))
+		p.Flush(g.link(uint32(rcas.Val(t))))
 		g.maybeFence(p)
 	}
 	// Result-ignored recoverable CAS: skip only if recovery proves this
@@ -162,7 +162,7 @@ func (g *General) deqReadPhase(c *capsule.Ctx) {
 	p := c.Mem()
 	h := g.Space.ReadFull(p, g.head)
 	t := g.Space.ReadFull(p, g.tail)
-	nx := g.Space.ReadFull(p, g.Arena.Next(uint32(rcas.Val(h))))
+	nx := g.Space.ReadFull(p, g.link(uint32(rcas.Val(h))))
 	if rcas.Val(h) == rcas.Val(t) {
 		if rcas.Val(nx) == 0 {
 			// Empty; linearizes at the read of nx. DoneRO elides the
@@ -194,7 +194,7 @@ func (g *General) deqCas(c *capsule.Ctx) {
 	if g.Durable {
 		// The link we are about to step over must be durable before
 		// the removal can be acknowledged (Friedman et al.).
-		p.Flush(g.Arena.Next(uint32(rcas.Val(h))))
+		p.Flush(g.link(uint32(rcas.Val(h))))
 		g.maybeFence(p)
 	}
 	ok := false
@@ -222,7 +222,7 @@ func (g *General) deqSwing(c *capsule.Ctx) {
 	t := c.Local(gdT)
 	nx := c.Local(gdNx)
 	if g.Durable {
-		p.Flush(g.Arena.Next(uint32(rcas.Val(t))))
+		p.Flush(g.link(uint32(rcas.Val(t))))
 		g.maybeFence(p)
 	}
 	if !(c.Crashed() && g.Space.CheckRecovery(p, g.tail, seq, pid)) {

@@ -82,10 +82,10 @@ func (n *Normalized) enqGenerate(c *capsule.Ctx) {
 	pid := c.P().ID()
 	for {
 		t := n.Space.ReadFull(p, n.tail)
-		nx := n.Space.ReadFull(p, n.Arena.Next(uint32(rcas.Val(t))))
+		nx := n.Space.ReadFull(p, n.link(uint32(rcas.Val(t))))
 		if rcas.Val(nx) != 0 {
 			if n.Durable {
-				p.Flush(n.Arena.Next(uint32(rcas.Val(t))))
+				p.Flush(n.link(uint32(rcas.Val(t))))
 				n.maybeFence(p)
 			}
 			n.Space.CasAnon(p, n.tail, t, rcas.Val(nx), n.anonSeq(c), pid)
@@ -110,7 +110,7 @@ func (n *Normalized) enqExec(c *capsule.Ctx) {
 	// Executor: the single link CAS, recoverable.
 	seq := c.NextSeq()
 	t := c.Local(neT)
-	link := n.Arena.Next(uint32(rcas.Val(t)))
+	link := n.link(uint32(rcas.Val(t)))
 	ok := false
 	if c.Crashed() {
 		ok = n.Space.CheckRecovery(p, link, seq, pid)
@@ -148,7 +148,7 @@ func (n *Normalized) deqGenerate(c *capsule.Ctx) {
 	for {
 		h := n.Space.ReadFull(p, n.head)
 		t := n.Space.ReadFull(p, n.tail)
-		nx := n.Space.ReadFull(p, n.Arena.Next(uint32(rcas.Val(h))))
+		nx := n.Space.ReadFull(p, n.link(uint32(rcas.Val(h))))
 		if rcas.Val(h) == rcas.Val(t) {
 			if rcas.Val(nx) == 0 {
 				// Empty result: linearizes at the read of nx and needs no
@@ -164,7 +164,7 @@ func (n *Normalized) deqGenerate(c *capsule.Ctx) {
 				return
 			}
 			if n.Durable {
-				p.Flush(n.Arena.Next(uint32(rcas.Val(t))))
+				p.Flush(n.link(uint32(rcas.Val(t))))
 				n.maybeFence(p)
 			}
 			n.Space.CasAnon(p, n.tail, t, rcas.Val(nx), n.anonSeq(c), pid)
@@ -187,7 +187,7 @@ func (n *Normalized) deqExec(c *capsule.Ctx) {
 	seq := c.NextSeq()
 	h := c.Local(ndH)
 	if n.Durable {
-		p.Flush(n.Arena.Next(uint32(rcas.Val(h))))
+		p.Flush(n.link(uint32(rcas.Val(h))))
 		n.maybeFence(p)
 	}
 	ok := false

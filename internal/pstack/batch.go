@@ -64,7 +64,7 @@ func (s *Stack) batchPush(c *capsule.Ctx, pool *qnode.PackedPool, vals []uint64)
 	for i, n := range ns {
 		p.Write(s.arena.Val(n), vals[i])
 		if i > 0 {
-			rcas.InitCell(p, s.arena.Next(n), uint64(ns[i-1]), alias, seq)
+			rcas.InitCell(p, s.link(n), uint64(ns[i-1]), alias, seq)
 		}
 	}
 	pool.FlushBatch(p)
@@ -75,8 +75,8 @@ func (s *Stack) batchPush(c *capsule.Ctx, pool *qnode.PackedPool, vals []uint64)
 	pool.Commit()
 	for {
 		old := p.Read(s.top)
-		rcas.InitCell(p, s.arena.Next(bottom), rcas.Val(old), alias, seq)
-		p.Flush(s.arena.Next(bottom))
+		rcas.InitCell(p, s.link(bottom), rcas.Val(old), alias, seq)
+		p.Flush(s.link(bottom))
 		// Drains the chain's flushes before swinging: reachable implies
 		// durable.
 		if s.space.CasAnon(p, s.top, old, uint64(top), seq, pid) {

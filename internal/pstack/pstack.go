@@ -27,6 +27,7 @@ type Stack struct {
 	durable bool
 	opt     bool
 
+	//persist:rcas-managed
 	top pmem.Addr // recoverable CAS cell, own line
 	pa  []*qnode.PersistentAlloc
 	// chain/seqCtr are the batch-push applier's per-process scratch
@@ -37,6 +38,18 @@ type Stack struct {
 	ops  capsule.RoutineID
 	push int // entry pc
 	pop  int
+}
+
+// link returns the address of node n's link cell. Link cells hold
+// recoverable-CAS triples — a raw port CAS or Write on one destroys a
+// concurrent process's un-announced evidence (the batch-push applier's
+// CasAnon comment in batch.go is the full argument) — so the
+// declaration is marked for persistlint's rawcas and every link address
+// flows through here rather than through bare arena.Next calls.
+//
+//persist:rcas-managed
+func (s *Stack) link(n uint32) pmem.Addr {
+	return s.arena.Next(n)
 }
 
 // Config assembles the stack's dependencies.
@@ -106,10 +119,11 @@ func (s *Stack) Seed(port *pmem.Port, start, n uint32, gen func(i uint32) uint64
 	for i := uint32(0); i < n; i++ {
 		node := start + i
 		port.Write(s.arena.Val(node), gen(i))
-		rcas.InitCell(port, s.arena.Next(node), uint64(prev), alias, uint64(i+1))
+		rcas.InitCell(port, s.link(node), uint64(prev), alias, uint64(i+1))
 		prev = node
 	}
 	t := port.Read(s.top)
+	//lint:ignore rawcas quiescent setup before any process attaches: no concurrent CAS evidence can exist yet, and the seq bump keeps the triple fresh
 	port.Write(s.top, rcas.Pack(uint64(prev), alias, rcas.Seq(t)+1))
 	port.Flush(s.top)
 	port.Fence()
@@ -141,10 +155,10 @@ func (s *Stack) pushGen(c *capsule.Ctx) {
 	p.Write(s.arena.Val(n), c.Local(sV))
 	top := s.space.ReadFull(p, s.top)
 	// Link the private node to the current top; repetition rewrites it.
-	rcas.InitCell(p, s.arena.Next(n), rcas.Val(top), pid, c.Seq())
+	rcas.InitCell(p, s.link(n), rcas.Val(top), pid, c.Seq())
 	if s.durable {
 		// Value and link share the node's line; the repeat coalesces.
-		p.FlushAddrs(s.arena.Val(n), s.arena.Next(n))
+		p.FlushAddrs(s.arena.Val(n), s.link(n))
 	}
 	c.SetLocal(sN, uint64(n))
 	c.SetLocal(sTop, top)
@@ -174,9 +188,9 @@ func (s *Stack) pushExec(c *capsule.Ctx) {
 	// Regenerate in the same capsule: re-read top, re-link, loop.
 	n := uint32(c.Local(sN))
 	top = s.space.ReadFull(p, s.top)
-	rcas.InitCell(p, s.arena.Next(n), rcas.Val(top), pid, c.Seq())
+	rcas.InitCell(p, s.link(n), rcas.Val(top), pid, c.Seq())
 	if s.durable {
-		p.Flush(s.arena.Next(n))
+		p.Flush(s.link(n))
 	}
 	c.SetLocal(sTop, top)
 	c.Boundary(pcPushExec)
@@ -213,12 +227,12 @@ func (s *Stack) popGenerate(c *capsule.Ctx) bool {
 		return false
 	}
 	n := uint32(rcas.Val(top))
-	nx := s.space.ReadFull(p, s.arena.Next(n))
+	nx := s.space.ReadFull(p, s.link(n))
 	v := p.Read(s.arena.Val(n))
 	if s.durable {
 		// Persist the link (and value) the decision depends on; the
 		// two words share the node's line, so the second coalesces.
-		p.FlushAddrs(s.arena.Next(n), s.arena.Val(n))
+		p.FlushAddrs(s.link(n), s.arena.Val(n))
 	}
 	c.SetLocal(sTop, top)
 	c.SetLocal(sNx, nx)
@@ -270,7 +284,7 @@ func (s *Stack) Len(port *pmem.Port) int {
 	i := uint32(rcas.Val(port.Read(s.top)))
 	for i != 0 {
 		n++
-		i = uint32(rcas.Val(port.Read(s.arena.Next(i))))
+		i = uint32(rcas.Val(port.Read(s.link(i))))
 	}
 	return n
 }
@@ -282,7 +296,7 @@ func (s *Stack) Drain(port *pmem.Port) []uint64 {
 	i := uint32(rcas.Val(port.Read(s.top)))
 	for i != 0 {
 		out = append(out, port.Read(s.arena.Val(i)))
-		i = uint32(rcas.Val(port.Read(s.arena.Next(i))))
+		i = uint32(rcas.Val(port.Read(s.link(i))))
 	}
 	return out
 }
