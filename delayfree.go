@@ -393,6 +393,19 @@ func RegisterBatchCombiner(reg *Registry, name string, pool *IngressPool, shard 
 	return ingress.RegisterCombiner(reg, name, pool, shard, apply)
 }
 
+// RegisterGroupBatchCombiner is RegisterBatchCombiner's group-commit
+// variant for appliers whose durability is deferred past the batch
+// span (apply returns true when the batch joined an open deferral
+// window). Completion tokens for deferred batches are held and only
+// published after closeWin runs — closeWin must make every held
+// batch durable (e.g. MapBatchApplier's Close, one de-duplicated
+// flush pass + fence over the window's swung Ptr words). The combiner
+// closes the window when the ring stays idle or at shutdown.
+func RegisterGroupBatchCombiner(reg *Registry, name string, pool *IngressPool, shard int,
+	apply func(c *Ctx, batch []IngressRecord) (deferred bool), closeWin func(c *Ctx)) RoutineID {
+	return ingress.RegisterGroupCombiner(reg, name, pool, shard, apply, closeWin)
+}
+
 // RegisterBatchProducer registers a producer routine that publishes
 // mk(attempt) for attempts attempts through the pool's rings under the
 // abandon protocol (exactly-once-or-never per operation across
@@ -419,11 +432,18 @@ func BatchPusher(s *PersistentStack, npool *PackedNodePool) func(c *Ctx, vals []
 	return pstack.BatchPusher(s, npool)
 }
 
-// BatchMapApplier returns a combiner applier for recoverable-map
-// batches: each operation individually atomic, one closing fence as the
-// batch's durability point.
-func BatchMapApplier(m *RecoverableMap) func(c *Ctx, ops []MapBatchOp) {
-	return pmap.BatchApplier(m)
+// MapBatchApplier is the group-commit batch applier for the map family:
+// line-packed value installs behind one install fence, deferred Ptr
+// persistence closed by one fence per window. See pmap.BatchApplier.
+type MapBatchApplier = pmap.BatchApplier
+
+// BatchMapApplier returns the group-commit applier for recoverable-map
+// batches: each operation individually atomic; durability deferred to
+// the window's close fence (Close), which the ingress group combiner
+// coordinates with producer acknowledgements. The map must be built
+// with Config.BatchCombiners > 0.
+func BatchMapApplier(m *RecoverableMap) *MapBatchApplier {
+	return pmap.NewBatchApplier(m)
 }
 
 // RouteIngressKey maps a map key to its ingress shard (all operations

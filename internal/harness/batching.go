@@ -43,6 +43,8 @@ func init() {
 			Help: "batched kinds: max operations per combiner batch"},
 		workload.Param{Name: "ingress-shards", Default: 1,
 			Help: "batched kinds: MPSC ring/combiner shards"},
+		workload.Param{Name: "batch-window", Default: 2048,
+			Help: "pmap-batched: deferred Ptr swings per group-commit close fence"},
 	)
 	workload.RegisterBencher(workload.Bencher{Kind: KindQueueBatched, Family: "queue", Run: runQueueBatched})
 	workload.RegisterBencher(workload.Bencher{Kind: KindStackBatched, Family: "stack", Run: runStackBatched})
@@ -82,6 +84,21 @@ func init() {
 			}
 			workload.RegisterBencher(workload.Bencher{Kind: kind, Family: family, Run: run})
 		}
+	}
+	// Read-mix points at b64 show the group commit composing with the
+	// PR 5 read-only fast lane (producer Gets bypass the rings, so
+	// deferred windows and volatile reads interleave).
+	for _, rp := range []int64{50, 90} {
+		rp := rp
+		kind := fmt.Sprintf("%s-b64-r%d", KindMapBatched, rp)
+		batching = append(batching, kind)
+		workload.RegisterBencher(workload.Bencher{Kind: kind, Family: "map",
+			Run: func(cfg Config) Result {
+				cfg.Params = cfg.Params.Set("batch-max", 64).Set("read-pct", rp)
+				r := runMapBatched(KindMapBatched, cfg)
+				r.Kind = kind
+				return r
+			}})
 	}
 	workload.RegisterFigure("batching", batching...)
 }
@@ -280,7 +297,10 @@ func runMapBatched(kind string, cfg Config) Result {
 	readPct := int(cfg.Param("read-pct"))
 	ops := cfg.Pairs * 2
 
-	words := pmap.Words(buckets, 1, P) + uint64(P)*capsule.ProcWords + uint64(keys)*4 + 1<<16
+	window := int(cfg.Param("batch-window"))
+
+	words := pmap.BatchWords(buckets, 1, P, shards, 0, window) +
+		uint64(P)*capsule.ProcWords + uint64(keys)*4 + 1<<16
 	mem := pmem.New(pmem.Config{
 		Words:      words,
 		Mode:       pmem.Shared,
@@ -294,11 +314,12 @@ func runMapBatched(kind string, cfg Config) Result {
 	}
 	m := pmap.New(pmap.Config{
 		Mem: mem, P: P, Buckets: buckets, Shards: 1, Opt: true, Durable: true,
+		BatchCombiners: shards, BatchWindow: window,
 	})
 	setup := mem.NewPort()
 	m.Init(setup, initial)
 	m.Bind(rt)
-	apply := pmap.BatchApplier(m)
+	ba := pmap.NewBatchApplier(m)
 
 	pool := ingress.NewPool(shards, ringCapacity(batchMax), batchMax, T)
 	reg := capsule.NewRegistry()
@@ -307,14 +328,18 @@ func runMapBatched(kind string, cfg Config) Result {
 	combiners := make([]capsule.RoutineID, shards)
 	for s := 0; s < shards; s++ {
 		batchOps := make([]pmap.BatchOp, batchMax)
-		combiners[s] = ingress.RegisterCombiner(reg, fmt.Sprintf("combine-m%d", s), pool, s,
-			func(c *capsule.Ctx, batch []ingress.Record) {
+		combiners[s] = ingress.RegisterGroupCombiner(reg, fmt.Sprintf("combine-m%d", s), pool, s,
+			func(c *capsule.Ctx, batch []ingress.Record) bool {
 				for i := range batch {
 					batchOps[i] = pmap.BatchOp{Del: batch[i].Op == ingress.OpDelete,
 						K: batch[i].A, V: batch[i].B}
 				}
-				apply(c, batchOps[:len(batch)])
-			})
+				if !ba.Apply(c, batchOps[:len(batch)]) {
+					panic("harness: map batch rejected; table is sized to never fill")
+				}
+				return ba.Deferred(c.P().ID())
+			},
+			func(c *capsule.Ctx) { ba.Close(c.P().ID()) })
 	}
 	for s := 0; s < shards; s++ {
 		capsule.Install(rt.Proc(T+s).Mem(), bases[T+s], reg, combiners[s])

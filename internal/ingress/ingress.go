@@ -300,3 +300,101 @@ func RegisterCombiner(reg *capsule.Registry, name string, pool *Pool, shard int,
 		c.Boundary(0)
 	})
 }
+
+// GroupApply applies a batch whose durability may be deferred past the
+// span: it returns true while swings of a group-commit window still
+// await their close fence, false once everything applied so far is
+// durable.
+type GroupApply func(c *capsule.Ctx, batch []Record) (deferred bool)
+
+// RegisterGroupCombiner is RegisterCombiner for group-commit appliers
+// (the wcas batch tier): completion tokens are held back while the
+// applier's deferral window is open, and released only after a close —
+// either the applier's own auto-close (apply returns false), or the
+// closeWin hook this combiner runs when its ring idles or finishes
+// while completions are pending. A producer that observes its token
+// therefore still knows its operation is durable, even though the
+// window amortizes one Ptr-persist fence over many batches.
+//
+// Crash interactions: a full-system crash advances the shard epoch
+// (Pool.Reset); the held-back records are dropped with it — their
+// producers re-drive or abandon through the windowed two-phase
+// protocol, and the deferred window they were waiting on died with the
+// volatile state. A combiner-process crash replays the span; the
+// held-back list is host state and survives, so its tokens release at
+// the next close exactly as if the crash had not happened.
+func RegisterGroupCombiner(reg *capsule.Registry, name string, pool *Pool, shard int,
+	apply GroupApply, closeWin func(c *capsule.Ctx)) capsule.RoutineID {
+	return registerGroupCombiner(reg, name, pool, shard, apply, closeWin, groupIdleGrace)
+}
+
+// groupIdleGrace is how many consecutive empty ring polls a group
+// combiner tolerates before it treats the ring as genuinely idle and
+// closes the deferral window. A momentary gap between producer
+// publishes must not trigger a close — every premature close fence is
+// a full Ptr-persist pass, and closing once per batch collapses the
+// window to the batch size, forfeiting the amortization the group tier
+// exists for. Each poll is an instrumented Step, so the grace bounds
+// the extra ack latency (and the crash-gap budget it consumes) by the
+// same count.
+const groupIdleGrace = 128
+
+func registerGroupCombiner(reg *capsule.Registry, name string, pool *Pool, shard int,
+	apply GroupApply, closeWin func(c *capsule.Ctx), idleGrace int) capsule.RoutineID {
+	sh := pool.shards[shard]
+	var held []Record
+	var lastEpoch uint64
+	ack := func(recs []Record) {
+		for i := range recs {
+			if recs[i].Done != nil {
+				recs[i].Done.Store(recs[i].Token)
+			}
+		}
+	}
+	return reg.Register(name, true, func(c *capsule.Ctx) {
+		if e := sh.Epoch.Load(); e != lastEpoch {
+			held = held[:0]
+			lastEpoch = e
+		}
+		var batch []Record
+		idle := 0
+		for {
+			if n := sh.Ring.Drain(sh.buf); n > 0 {
+				batch = sh.buf[:n]
+				break
+			}
+			if len(held) > 0 {
+				// Deferred completions are pending: wait out the grace
+				// before closing, so a momentary publish gap does not
+				// cost a premature close fence — but do close once the
+				// ring stays dry, rather than leave producers waiting on
+				// a fence that would otherwise only come with more
+				// traffic.
+				if idle++; idle >= idleGrace {
+					closeWin(c)
+					ack(held)
+					held = held[:0]
+					c.Boundary(0)
+					return
+				}
+			} else if pool.AllDone() && sh.Ring.Empty() {
+				c.Finish()
+				return
+			}
+			c.P().Step()
+			runtime.Gosched()
+		}
+		deferred := apply(c, batch)
+		c.Mem().NoteBatch(uint64(len(batch)))
+		if deferred {
+			held = append(held, batch...)
+		} else {
+			// Everything applied so far is durable (the applier closed
+			// its window inside apply, or deferred nothing).
+			ack(held)
+			held = held[:0]
+			ack(batch)
+		}
+		c.Boundary(0)
+	})
+}

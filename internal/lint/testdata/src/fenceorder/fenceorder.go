@@ -88,3 +88,44 @@ func (h *hist) fenceInLoop(n int) {
 	}
 	h.announce(6) // want `announce site is not dominated by a fence`
 }
+
+// Group-commit shape (the PR 10 wcas batch tier): a window of packed
+// slot installs is flushed per line and fenced ONCE, and only then do
+// the Ptr swings publish the slots. Each swing is an announce site —
+// after it, any reader's link-and-persist (or a line eviction) can
+// make the Ptr word durable, so the install fence must already have
+// happened. The fence before the swing loop dominates every iteration.
+func (h *hist) groupCommitGood(slots, ptrs []pmem.Addr) {
+	for i, s := range slots {
+		h.port.Write(s, uint64(i))
+		h.port.Flush(s)
+	}
+	h.port.Fence()
+	for _, pa := range ptrs {
+		//persist:announce
+		h.port.CAS(pa, 0, 1)
+	}
+}
+
+// groupCommitMutation drops the install fence: the swings outrun the
+// installs' durability, and a crash after a reader persisted a swung
+// Ptr word durably names a slot whose value may be garbage.
+func (h *hist) groupCommitMutation(slots, ptrs []pmem.Addr) {
+	for i, s := range slots {
+		h.port.Write(s, uint64(i))
+		h.port.Flush(s)
+	}
+	for _, pa := range ptrs {
+		//persist:announce
+		h.port.CAS(pa, 0, 1) // want `announce site is not dominated by a fence`
+	}
+}
+
+// groupCommitFlushOnly shows the flush alone is not enough — an
+// unfenced flush may still be pending at the crash.
+func (h *hist) groupCommitFlushOnly(slot, ptr pmem.Addr) {
+	h.port.Write(slot, 1)
+	h.port.Flush(slot)
+	//persist:announce
+	h.port.CAS(ptr, 0, 1) // want `announce site is not dominated by a fence`
+}

@@ -99,3 +99,29 @@ func unmanaged(p *pmem.Port, scratch pmem.Addr) {
 	p.Write(scratch, 1)
 	p.CAS(scratch, 1, 2)
 }
+
+// batchSwingRaw is the group-commit mutation of the PR 8 bug: the
+// deferred window's Ptr swings run back to back over managed words,
+// and writing them against the raw port destroys any recoverable-CAS
+// evidence a concurrent process parked there. One diagnostic per
+// managed access, loop or not.
+func (b *base) batchSwingRaw(first, last uint32, v uint64) {
+	for n := first; n <= last; n++ {
+		pa := b.link(n)
+		old := b.port.Read(pa)
+		b.port.CAS(pa, old, v) // want `raw pmem\.Port\.CAS on an rcas-managed word`
+	}
+}
+
+// batchSwingManaged is the fixed shape: the swings go through CasAnon;
+// the deferred flush pass over the same managed words is fine (flushes
+// carry no evidence).
+func (b *base) batchSwingManaged(first, last uint32, v, seq, pid uint64) {
+	for n := first; n <= last; n++ {
+		pa := b.link(n)
+		old := b.port.Read(pa)
+		b.Space.CasAnon(b.port, pa, old, v, seq, pid)
+		b.port.Flush(pa)
+	}
+	b.port.Fence()
+}

@@ -1,0 +1,102 @@
+package pmap
+
+import (
+	"testing"
+
+	"delayfree/internal/capsule"
+	"delayfree/internal/pmem"
+	"delayfree/internal/proc"
+)
+
+// batchFixture builds a map with the group-commit tier enabled, one
+// applier, and a capsule machine whose "batch-apply" routine runs one
+// Apply per invoke (the unit-test stand-in for an ingress combiner
+// span).
+func batchFixture(t *testing.T, buckets, window int) (*Map, *BatchApplier, func([]BatchOp) bool, *capsule.Machine) {
+	t.Helper()
+	const P = 1
+	mem := pmem.New(pmem.Config{
+		Words: BatchWords(buckets, 1, P, 1, 0, window) + P*capsule.ProcWords + 1<<13,
+	})
+	rt := proc.NewRuntime(mem, P)
+	m := New(Config{Mem: mem, P: P, Buckets: buckets, Opt: true,
+		BatchCombiners: 1, BatchWindow: window})
+	setup := mem.NewPort()
+	m.Init(setup, nil)
+	m.Bind(rt)
+	reg := capsule.NewRegistry()
+	m.Register(reg)
+	ba := NewBatchApplier(m)
+	var ops []BatchOp
+	var applied bool
+	rid := reg.Register("batch-apply", true, func(c *capsule.Ctx) {
+		applied = ba.Apply(c, ops)
+		c.Done()
+	})
+	bases := capsule.AllocProcAreas(mem, P)
+	capsule.InstallIdle(rt.Proc(0).Mem(), bases[0], reg, m.Routine())
+	mach := capsule.NewMachine(rt.Proc(0), reg, bases[0])
+	apply := func(batch []BatchOp) bool {
+		ops = batch
+		mach.Invoke(rid, 0)
+		return applied
+	}
+	return m, ba, apply, mach
+}
+
+// TestBatchApplyRejectsAtCapacity pins the pre-probe boundary: a batch
+// either applies whole or is rejected before its first value write.
+// The rejecting put may claim its key cell (claimed with value 0 is
+// semantically absent), but no operation of the batch — not even ones
+// that would individually have succeeded — becomes visible.
+func TestBatchApplyRejectsAtCapacity(t *testing.T) {
+	const buckets = 8
+	m, ba, apply, mach := batchFixture(t, buckets, 16)
+
+	// Fill to one short of capacity in one batch.
+	var fill []BatchOp
+	for k := uint64(1); k <= buckets-1; k++ {
+		fill = append(fill, BatchOp{K: k, V: k * 10})
+	}
+	if !apply(fill) {
+		t.Fatal("fill batch rejected with space left")
+	}
+	// Exactly-at-capacity boundary: the last free bucket plus an
+	// overwrite still fit.
+	if !apply([]BatchOp{{K: buckets, V: 80}, {K: 1, V: 11}}) {
+		t.Fatal("batch filling the last bucket rejected")
+	}
+	// One past capacity: the new key cannot claim a bucket. The batch
+	// leads with an overwrite that would succeed alone — rejection must
+	// reach back over it.
+	if apply([]BatchOp{{K: 1, V: 999}, {K: buckets + 1, V: 90}}) {
+		t.Fatal("batch with an unplaceable put applied")
+	}
+	if v, ok := get(mach, m, 1); !ok || v != 11 {
+		t.Fatalf("rejected batch leaked a write: get(1) = %d %v, want 11", v, ok)
+	}
+	if _, ok := get(mach, m, buckets+1); ok {
+		t.Fatal("rejected put's key is visible")
+	}
+	// Deletes of present and absent keys never reject, and the applier
+	// stays fully usable after a rejection.
+	if !apply([]BatchOp{{Del: true, K: 2}, {Del: true, K: buckets + 2}, {K: 1, V: 111}}) {
+		t.Fatal("post-rejection batch failed")
+	}
+	if !ba.Deferred(0) {
+		t.Fatal("window not deferred after applied batches")
+	}
+	ba.Close(0)
+	if ba.Deferred(0) {
+		t.Fatal("window still deferred after Close")
+	}
+	if v, ok := get(mach, m, 1); !ok || v != 111 {
+		t.Fatalf("get(1) = %d %v, want 111", v, ok)
+	}
+	if _, ok := get(mach, m, 2); ok {
+		t.Fatal("deleted key still visible")
+	}
+	if v, ok := get(mach, m, buckets); !ok || v != 80 {
+		t.Fatalf("get(%d) = %d %v, want 80", buckets, v, ok)
+	}
+}

@@ -15,13 +15,18 @@ import (
 // Crash-stress for the batched ingress front-end of the map family:
 // producers drive puts and deletes through the MPSC ring via the
 // ingress producer driver (see pqueue/batchstress.go for the abandon
-// protocol), the combiner applies batches with pmap.BatchApplier —
-// each operation individually atomic through the writable-CAS protocol,
-// the closing Fence the batch's durability point. Unlike the queue and
-// stack batches there is no single commit word, so a crash inside a
-// combiner span may durably apply any prefix of the batch; that is a
-// valid outcome because every clipped operation was abandoned by its
-// producer (invoked, never returned — absent-or-once).
+// protocol), the combiner applies batches through the wcas group-commit
+// tier (pmap.NewBatchApplier): line-packed installs behind one install
+// fence, swings with deferred Ptr persistence, one close fence per
+// window. Completion tokens are held until the close
+// (ingress.RegisterGroupCombiner), so a producer that observes its
+// token knows the operation is durable. Unlike the queue and stack
+// batches there is no single commit word, so a crash inside the
+// deferred window may durably apply any *subset* of the unacknowledged
+// operations (each individually atomic, per-line crash prefixes of the
+// swing log); that is a valid outcome because every clipped operation
+// was abandoned by its producer (invoked, never returned —
+// absent-or-once).
 //
 // Keys are disjoint per producer, so the recovered map must decompose
 // into per-producer last-write states; without an audit the round still
@@ -35,8 +40,13 @@ const (
 	// one durable claim and one durable return/abandon tally per 8
 	// attempts (a crash abandons the whole unacknowledged window).
 	batchedWindow = 8
-	batchedKeys    = 12 // distinct keys per producer
-	batchedBuckets = 256
+	// batchedGroupWindow is the combiner's wcas deferral window: small
+	// enough that close fences land between crash gaps, large enough
+	// that multiple batches share one (the crash sweep and the audit
+	// both exercise the deferred region).
+	batchedGroupWindow = 32
+	batchedKeys        = 12 // distinct keys per producer
+	batchedBuckets     = 256
 )
 
 // batchedKey is the deterministic key of producer pid's attempt i.
@@ -59,14 +69,18 @@ func batchedMapStress(cfg workload.StressConfig) (workload.StressReport, error) 
 	}
 	quota := cfg.Crashes
 	if quota == 0 {
-		quota = 150
+		// 250 per model: the CI smoke runs both failure models, so one
+		// audited sweep certifies ≥ 500 crashes over the group-commit
+		// path.
+		quota = 250
 	}
 	N := P + batchedShards
 	mode := pmem.Private
 	if cfg.Shared {
 		mode = pmem.Shared
 	}
-	words := Words(batchedBuckets, 1, N) + uint64(N)*capsule.ProcWords + 1<<15
+	words := BatchWords(batchedBuckets, 1, N, batchedShards, 0, batchedGroupWindow) +
+		uint64(N)*capsule.ProcWords + 1<<15
 	mem := pmem.New(pmem.Config{
 		Words:   words,
 		Mode:    mode,
@@ -87,15 +101,32 @@ func batchedMapStress(cfg workload.StressConfig) (workload.StressReport, error) 
 		Shards:  1,
 		Opt:     true,
 		Durable: true,
+
+		BatchCombiners: batchedShards,
+		BatchWindow:    batchedGroupWindow,
 	})
 	setup := mem.NewPort()
 	m.Init(setup, nil) // empty: the checkers treat unwritten keys as phantoms
 	m.Bind(rt)
-	apply := BatchApplier(m)
+	ba := NewBatchApplier(m)
+
+	minGap, maxGap := cfg.MinGap, cfg.MaxGap
+	if minGap == 0 {
+		// + 2*buckets: the batcher rebuild scans Ptr once per recovery;
+		// + 4*window: a close fence's FlushAddrs pass must fit the gap.
+		recCost := int64(6*batchedBuckets + 2*N*N + N)
+		minGap = 2*recCost + 1500 + 25*batchedMax + 4*batchedGroupWindow
+	}
+	if maxGap < minGap {
+		maxGap = 3 * minGap
+	}
 
 	var rec *history.Recorder
 	if cfg.Audit {
-		rec = history.NewRecorder(P, history.StressCapacity(int(attempts)+32*quota, quota))
+		// Event volume is gap-driven: producers keep attempting until
+		// the crash quota is met, so size like the queue/stack batched
+		// stressers rather than per nominal attempts.
+		rec = history.NewRecorder(P, history.StressCapacity(int(attempts)+quota*int(maxGap)/15, quota))
 	}
 	pool := ingress.NewPool(batchedShards, batchedRingCap, batchedMax, P)
 	rt.OnSystemCrash = func(uint64) {
@@ -126,13 +157,17 @@ func batchedMapStress(cfg workload.StressConfig) (workload.StressReport, error) 
 	}
 	for s := 0; s < batchedShards; s++ {
 		ops := make([]BatchOp, batchedMax)
-		comb := ingress.RegisterCombiner(reg, fmt.Sprintf("pm-batched-comb%d", s), pool, s,
-			func(c *capsule.Ctx, batch []ingress.Record) {
+		comb := ingress.RegisterGroupCombiner(reg, fmt.Sprintf("pm-batched-comb%d", s), pool, s,
+			func(c *capsule.Ctx, batch []ingress.Record) bool {
 				for i := range batch {
 					ops[i] = BatchOp{Del: batch[i].Op == ingress.OpDelete, K: batch[i].A, V: batch[i].B}
 				}
-				apply(c, ops[:len(batch)])
-			})
+				if !ba.Apply(c, ops[:len(batch)]) {
+					panic("pmap: stress batch rejected; table sized to never fill")
+				}
+				return ba.Deferred(c.P().ID())
+			},
+			func(c *capsule.Ctx) { ba.Close(c.P().ID()) })
 		capsule.Install(rt.Proc(P+s).Mem(), bases[P+s], reg, comb)
 	}
 
@@ -150,14 +185,6 @@ func batchedMapStress(cfg workload.StressConfig) (workload.StressReport, error) 
 		}
 	}
 
-	minGap, maxGap := cfg.MinGap, cfg.MaxGap
-	if minGap == 0 {
-		recCost := int64(4*batchedBuckets + 2*N*N + N)
-		minGap = 2*recCost + 1500 + 25*batchedMax
-	}
-	if maxGap < minGap {
-		maxGap = 3 * minGap
-	}
 	for i := 0; i < N; i++ {
 		rt.Proc(i).AutoCrash(cfg.Seed*31+int64(i), minGap, maxGap)
 	}

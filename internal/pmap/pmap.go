@@ -71,7 +71,31 @@ type Config struct {
 	// Durable enables the manual-flush protocol needed for recovery
 	// from full-system crashes in the shared-cache model.
 	Durable bool
+
+	// BatchCombiners sizes the wcas group-commit tier: the number of
+	// ingress combiners that will drive a BatchApplier. 0 disables the
+	// tier (no extent is allocated; NewBatchApplier panics). Each
+	// segment reserves BatchCombiners claims of extent lines, because
+	// ingress routing (RouteKey) and segment selection (locate) hash
+	// different bits — any combiner may write any segment.
+	BatchCombiners int
+	// BatchExtentLines overrides the per-combiner extent claim, in
+	// cache lines per segment. 0 picks a default sized for the whole
+	// per-segment value working set plus a full deferral window.
+	BatchExtentLines int
+	// BatchWindow caps the swings a combiner defers before its window
+	// auto-closes (flush+fence of the swung Ptr words). 0 picks
+	// DefaultBatchWindow.
+	BatchWindow int
 }
+
+// DefaultBatchWindow is the deferral window (swings per close fence)
+// when Config.BatchWindow is zero. The close fence's cost is one flush
+// per *distinct* Ptr line touched in the window (duplicates coalesce
+// within the close epoch), so the window must comfortably exceed the
+// hot set's Ptr-line count for the deferred flushes to amortize; 2048
+// covers a few thousand live keys.
+const DefaultBatchWindow = 2048
 
 // segment is one stripe of buckets backed by its own writable-CAS
 // array: object 2b is bucket b's key, object 2b+1 its value (adjacent,
@@ -95,6 +119,14 @@ type Map struct {
 	ports  []*pmem.Port
 	hs     [][]*wcas.Handle // [pid][segment]
 	ops    capsule.RoutineID
+
+	// Group-commit tier geometry (Config.BatchCombiners > 0).
+	batchLines  int // extent lines per combiner claim, per segment
+	batchWindow int
+	// recEpoch counts full-system recoveries; BatchApplier states carry
+	// the epoch they were built under and rebuild when stale. Guarded
+	// by the quiescence Recover already requires.
+	recEpoch uint64
 }
 
 // Capsule program counters of the ops routine.
@@ -147,7 +179,32 @@ func New(cfg Config) *Map {
 	}
 	shards = int(nextPow2(uint32(shards)))
 	bps := nextPow2(uint32((cfg.Buckets + shards - 1) / shards))
-	return &Map{cfg: cfg, shards: shards, bps: bps}
+	m := &Map{cfg: cfg, shards: shards, bps: bps}
+	if cfg.BatchCombiners > 0 {
+		m.batchWindow = cfg.BatchWindow
+		if m.batchWindow == 0 {
+			m.batchWindow = DefaultBatchWindow
+		}
+		m.batchLines = cfg.BatchExtentLines
+		if m.batchLines == 0 {
+			m.batchLines = batchExtentLines(int(bps), m.batchWindow)
+		}
+	}
+	return m
+}
+
+// batchExtentLines sizes one combiner's per-segment extent claim. The
+// steady-state occupancy is the live value working set (one slot per
+// occupied bucket) plus a deferral window of quarantined retirees plus
+// an in-flight batch — but the lap allocator reclaims only wholly-dead
+// lines, so the extent behaves like a log-structured arena: near full
+// occupancy the chance that all 8 co-resident slots of a line have
+// retired collapses, and the allocator degenerates to scattered pool
+// borrows (one install flush per op — exactly the cost this tier
+// exists to avoid). Provision ~3x the steady-state occupancy so
+// whole-line death keeps pace with allocation.
+func batchExtentLines(bps, window int) int {
+	return (3*(bps+window)+2*64)/pmem.WordsPerLine + 4
 }
 
 // Buckets returns the total (rounded) capacity.
@@ -159,6 +216,13 @@ func (m *Map) Shards() int { return m.shards }
 // Words estimates the persistent-memory footprint in words, for sizing
 // a pmem.Config before construction.
 func Words(buckets, shards, P int) uint64 {
+	return BatchWords(buckets, shards, P, 0, 0, 0)
+}
+
+// BatchWords is Words for a map built with the group-commit tier:
+// combiners/extentLines/window mirror Config.BatchCombiners/
+// BatchExtentLines/BatchWindow (zeros pick the same defaults).
+func BatchWords(buckets, shards, P, combiners, extentLines, window int) uint64 {
 	if shards < 1 {
 		shards = 1
 	}
@@ -166,6 +230,18 @@ func Words(buckets, shards, P int) uint64 {
 	bps := uint64(nextPow2(uint32((buckets + shards - 1) / shards)))
 	objs := 2 * bps
 	slots := objs + uint64(2*P*P)
+	if combiners > 0 {
+		if window == 0 {
+			window = DefaultBatchWindow
+		}
+		if extentLines == 0 {
+			extentLines = batchExtentLines(int(bps), window)
+		}
+		// Extent alignment (slots rounds up to a line) + the lines
+		// themselves, counted in both the slot array and its statuses.
+		slots = (slots + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
+		slots += uint64(combiners*extentLines) * pmem.WordsPerLine
+	}
 	perSeg := 2*slots + objs + uint64(P+2)*pmem.WordsPerLine + 4*pmem.WordsPerLine
 	return uint64(shards)*perSeg + 1<<12
 }
@@ -198,7 +274,8 @@ func (m *Map) Init(port *pmem.Port, initial map[uint64]uint64) {
 	for si := range m.segs {
 		sg := &segment{buckets: m.bps, mask: m.bps - 1}
 		a := assign[si]
-		sg.arr = wcas.New(m.cfg.Mem, port, int(2*m.bps), m.cfg.P, func(j int) uint64 {
+		sg.arr = wcas.NewWithExtent(m.cfg.Mem, port, int(2*m.bps), m.cfg.P,
+			m.cfg.BatchCombiners*m.batchLines, func(j int) uint64 {
 			e, ok := a[uint32(j/2)]
 			if !ok {
 				return 0
@@ -262,6 +339,9 @@ func (m *Map) Recover(port *pmem.Port) {
 			m.hs[pid][si] = sg.arr.NewHandleWithPool(m.ports[pid], pid, pools[pid])
 		}
 	}
+	// Invalidate every BatchApplier state: extent claims were reset and
+	// the old batchers' deferred windows died with the crash.
+	m.recEpoch++
 }
 
 func checkKV(k, v uint64) {

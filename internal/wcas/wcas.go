@@ -65,11 +65,19 @@ func ptrTag(w uint64) uint32          { return uint32(w >> 32) }
 // Array is a set of M writable CAS objects shared by P processes.
 type Array struct {
 	M, P   int
-	slots  int // M + 2P²
+	slots  int // M + 2P², plus the batch extent when present
 	b      pmem.Addr
 	ptr    pmem.Addr
 	ann    pmem.Addr // A[P], one line each
 	status pmem.Addr
+
+	// Batch extent (NewWithExtent): extLines line-aligned lines of slots
+	// at indices [extBase, slots), owned by Batchers rather than by the
+	// per-process scattered pools. extClaim is the host-side cursor of
+	// lines already claimed by NewBatcher; Recover resets it.
+	extBase  int
+	extLines int
+	extClaim int
 
 	// Durable enables the manual-flush protocol for the shared-cache
 	// model: a successful object CAS flushes the slot it wrote; a Write
@@ -90,8 +98,28 @@ type Array struct {
 // Slot j initially backs object j; each process additionally owns 2P
 // private slots.
 func New(mem *pmem.Memory, port *pmem.Port, M, P int, init func(j int) uint64) *Array {
+	return NewWithExtent(mem, port, M, P, 0, init)
+}
+
+// NewWithExtent creates the array with an additional batch extent of
+// extentLines line-aligned slot lines appended after the classic slots.
+// Extent slots belong to no per-process pool; Batchers claim them in
+// whole lines (NewBatcher) so group-commit installs pack 8 values per
+// line and one FlushRange persists a whole batch. extentLines == 0
+// degenerates to New.
+func NewWithExtent(mem *pmem.Memory, port *pmem.Port, M, P, extentLines int, init func(j int) uint64) *Array {
 	a := &Array{M: M, P: P, slots: M + 2*P*P}
-	a.b = mem.Alloc(uint64(a.slots))
+	if extentLines > 0 {
+		// Round the classic region up to a line boundary so the extent
+		// starts line-aligned inside b; allocate b itself line-aligned.
+		base := (a.slots + pmem.WordsPerLine - 1) &^ (pmem.WordsPerLine - 1)
+		a.extBase = base
+		a.extLines = extentLines
+		a.slots = base + extentLines*pmem.WordsPerLine
+		a.b = mem.AllocLines(uint64(a.slots) / pmem.WordsPerLine)
+	} else {
+		a.b = mem.Alloc(uint64(a.slots))
+	}
 	a.ptr = mem.Alloc(uint64(M))
 	a.ann = mem.AllocLines(uint64(P))
 	a.status = mem.Alloc(uint64(a.slots))
@@ -99,12 +127,20 @@ func New(mem *pmem.Memory, port *pmem.Port, M, P int, init func(j int) uint64) *
 		port.Write(a.b+pmem.Addr(j), init(j))
 		port.Write(a.ptr+pmem.Addr(j), packPtr(uint32(j), 0))
 	}
+	// Idle the announcement array explicitly: the zero word decodes as
+	// "slot 0 announced at seq 0", which conservative scanners (the
+	// Batcher's CloseWindow quarantine) would honor forever. Recover
+	// does the same after every crash.
+	for p := 0; p < P; p++ {
+		port.Write(a.annAddr(p), packAnn(0xFFFFFFFF, 0, false))
+	}
 	// Persist the initial image: a crash before the first explicit flush
 	// must not revert the array to zeroes in the shared-cache model. The
 	// regions are not necessarily line-aligned (Alloc packs), so flush
 	// every line the words span, not a stride from the base.
 	port.FlushRange(a.b, uint64(M))
 	port.FlushRange(a.ptr, uint64(M))
+	port.FlushRange(a.ann, uint64(P)*pmem.WordsPerLine)
 	port.Fence()
 	return a
 }
@@ -156,10 +192,17 @@ func (a *Array) Recover(port *pmem.Port) [][]uint32 {
 			port.Write(a.status+pmem.Addr(s), 0) // unowned
 			continue
 		}
+		if a.extLines > 0 && s >= a.extBase {
+			// Extent slots are never pooled: Batchers re-claim their
+			// lines (NewBatcher rebuilds per-line liveness from Ptr).
+			port.Write(a.status+pmem.Addr(s), 0)
+			continue
+		}
 		pools[next] = append(pools[next], uint32(s))
 		port.Write(a.status+pmem.Addr(s), packStatus(next, false))
 		next = (next + 1) % a.P
 	}
+	a.extClaim = 0
 	for p := 0; p < a.P; p++ {
 		if len(pools[p]) < 2 {
 			panic(fmt.Sprintf("wcas: recover left process %d with %d slots", p, len(pools[p])))
